@@ -1,0 +1,63 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every benchmark writes its rendered table to ``results/<name>.txt`` (and
+prints it), so the paper-vs-measured record in EXPERIMENTS.md can be
+refreshed from one run.  The Figure-9 grid (7 schemes x 29 benchmarks)
+is computed once and shared by the Figure-10 benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+_FIG9_CACHE = {}
+
+
+def bench_config() -> ExperimentConfig:
+    """The configuration all figure benchmarks share.
+
+    ``REPRO_BENCH_QUOTA`` scales run length (default 100 memory
+    instructions per PE) for quick smoke runs of the suite.
+    """
+    quota = int(os.environ.get("REPRO_BENCH_QUOTA", "100"))
+    return ExperimentConfig(quota=quota, mcts_iterations=150)
+
+
+def quick_config() -> ExperimentConfig:
+    """A small configuration for the ablation benchmarks."""
+    quota = int(os.environ.get("REPRO_ABL_QUOTA", "60"))
+    return ExperimentConfig(quota=quota, mcts_iterations=60)
+
+
+def shared_figure9():
+    """Compute (once) the full scheme x benchmark grid."""
+    key = "fig9"
+    if key not in _FIG9_CACHE:
+        from repro.harness.figures import figure9
+
+        _FIG9_CACHE[key] = figure9(bench_config(), progress=True)
+    return _FIG9_CACHE[key]
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered figure and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def config():
+    return bench_config()

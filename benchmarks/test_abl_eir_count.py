@@ -1,0 +1,69 @@
+"""Ablation: the topological-equivalence spectrum (paper section 3.2.1).
+
+Sweeps the number of EIRs per group from 0 (the existing architecture)
+to the full MCTS selection.  More EIRs should monotonically-ish reduce
+execution time, with diminishing returns — the paper's argument for an
+optimal group size rather than EIRs-everywhere.
+"""
+
+from conftest import publish, quick_config
+
+from repro.core.eir import EirDesign, EirGroup
+from repro.core.equinox import design_from_groups
+from repro.core.grid import Grid
+from repro.harness import cache
+from repro.harness.experiment import run_with_fabric
+from repro.harness.metrics import format_table
+from repro.schemes import Fabric, get_config
+
+BENCH = "fastWalshTransform"
+
+
+def _truncated_design(full, k):
+    groups = tuple(
+        EirGroup(cb=g.cb, eirs=g.eirs[:k]) for g in full.eir_design.groups
+    )
+    return EirDesign(
+        grid=full.grid,
+        placement=full.eir_design.placement,
+        groups=groups,
+    )
+
+
+def test_eir_count_ablation(benchmark):
+    config = quick_config()
+    full = cache.equinox_design(
+        config.width, config.num_cbs,
+        iterations_per_level=config.mcts_iterations, seed=config.seed,
+    )
+
+    def run_sweep():
+        results = {}
+        for k in (0, 1, 2, 4):
+            eir_design = _truncated_design(full, k)
+            design = design_from_groups(full.grid, full.placement, eir_design)
+            fabric = Fabric(
+                get_config("EquiNox"),
+                full.grid,
+                full.placement.nodes,
+                equinox_design=design,
+            )
+            results[k] = run_with_fabric(fabric, BENCH, config,
+                                         f"EquiNox-k{k}")
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (k, r.cycles, sum(len(g) for g in _truncated_design(full, k).groups))
+        for k, r in results.items()
+    ]
+    publish(
+        "ablation_eir_count",
+        "Ablation: EIRs per group (fastWalshTransform)\n"
+        + format_table(("Max EIRs/group", "Cycles", "Total EIRs"), rows),
+    )
+
+    # No EIRs is the slowest configuration; the full group the fastest.
+    assert results[0].cycles >= max(r.cycles for k, r in results.items()
+                                    if k > 0)
+    assert results[4].cycles <= results[1].cycles

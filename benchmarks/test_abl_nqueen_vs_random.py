@@ -1,0 +1,75 @@
+"""Ablation: does the scored N-Queen placement actually matter?
+
+Compares EquiNox built on (a) the best-scored N-Queen placement, (b)
+the worst-scoring N-Queen solution, and (c) a clustered placement, all
+with MCTS-selected EIRs, on a memory-bound benchmark.  The scoring
+policy should never lose to the worst solution, and clustered CBs
+should be clearly worse.
+"""
+
+from conftest import publish, quick_config
+
+from repro.core.equinox import design_equinox
+from repro.core.grid import Grid
+from repro.core.hotzone import placement_penalty
+from repro.core.mcts import SearchConfig
+from repro.core.nqueen import solution_to_nodes, solve_all
+from repro.harness.experiment import run_with_fabric
+from repro.harness.metrics import format_table
+from repro.schemes import Fabric, get_config
+
+BENCH = "kmeans"
+
+
+def _run(placement_nodes, config):
+    design = design_equinox(
+        config.width,
+        config.num_cbs,
+        SearchConfig(iterations_per_level=config.mcts_iterations,
+                     seed=config.seed),
+        placement_nodes=placement_nodes,
+    )
+    fabric = Fabric(
+        get_config("EquiNox"),
+        Grid(config.width),
+        design.placement.nodes,
+        equinox_design=design,
+    )
+    return run_with_fabric(fabric, BENCH, config, "EquiNox-custom")
+
+
+def test_placement_ablation(benchmark):
+    config = quick_config()
+    grid = Grid(config.width)
+
+    scored = sorted(
+        (placement_penalty(grid, solution_to_nodes(grid, cols)),
+         solution_to_nodes(grid, cols))
+        for cols in solve_all(config.width)
+    )
+    best_nodes = scored[0][1]
+    worst_nodes = scored[-1][1]
+    clustered = tuple(
+        grid.node(x, y) for y in (0, 1) for x in (0, 1, 2, 3)
+    )
+
+    def run_all():
+        return {
+            "nqueen-best": _run(None, config),
+            "nqueen-worst": _run(worst_nodes, config),
+            "clustered": _run(clustered, config),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        (name, r.cycles, r.edp) for name, r in results.items()
+    ]
+    publish(
+        "ablation_placement",
+        "Ablation: CB placement under EquiNox (kmeans)\n"
+        + format_table(("Placement", "Cycles", "EDP"), rows)
+        + f"\n(best penalty {scored[0][0]}, worst {scored[-1][0]})",
+    )
+
+    assert results["nqueen-best"].cycles <= 1.10 * results["nqueen-worst"].cycles
+    assert results["nqueen-best"].cycles < results["clustered"].cycles

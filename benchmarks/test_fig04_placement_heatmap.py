@@ -1,0 +1,30 @@
+"""Figure 4: heat maps of per-router residence under five CB placements.
+
+Paper shape: Top and Side suffer severe, localised congestion; Diagonal
+and Diamond are far more balanced; the scored N-Queen placement has the
+lowest variance of the row/column-free placements (paper: 0.54, which
+is 35.7% below Diamond and 96.7% below Top).
+"""
+
+from conftest import publish
+
+from repro.core.grid import Grid
+from repro.harness.figures import figure4
+from repro.harness.render import heatmap_text
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(figure4, rounds=1, iterations=1)
+    grid = Grid(result.width)
+    text = [result.render(), ""]
+    for name, heat in result.heatmaps.items():
+        text.append(f"--- {name} (CBs marked *) ---")
+        text.append(heatmap_text(heat, grid, marked=result.placements[name]))
+    publish("figure4", "\n".join(text))
+
+    v = result.variances
+    # Shape assertions from the paper's Figure 4.
+    assert v["top"] > v["diamond"]
+    assert v["side"] > v["diamond"]
+    assert v["nqueen"] < v["diamond"]
+    assert v["top"] > 1.5 * v["nqueen"]

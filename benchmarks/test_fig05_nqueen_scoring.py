@@ -1,0 +1,26 @@
+"""Figure 5: the N-Queen placement scoring policy.
+
+Paper facts: an 8x8 network has 92 N-Queen placements; the hot-zone
+penalty ranks them and the lowest-scoring one is chosen; N-Queen
+placements can only exhibit DAZ-CAZ overlaps.
+"""
+
+from conftest import publish
+
+from repro.core.grid import Grid
+from repro.core.hotzone import overlap_kinds
+from repro.harness.figures import figure5
+
+
+def test_figure5(benchmark):
+    result = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    publish("figure5", result.render())
+
+    assert result.num_solutions == 92
+    assert result.best_penalty == min(result.penalties)
+    assert result.best_penalty < sum(result.penalties) / len(result.penalties)
+
+    grid = Grid(result.width)
+    kinds = overlap_kinds(grid, result.best_nodes)
+    for tile_kinds in kinds.values():
+        assert tile_kinds <= {"caz-daz"}

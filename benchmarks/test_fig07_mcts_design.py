@@ -1,0 +1,37 @@
+"""Figure 7: the MCTS-selected EIR design for an 8x8 network.
+
+Paper attributes of the found design: EIRs sit about two hops from
+their CB (bypassing the DAZ/CAZ hot zones), interposer-link crossings
+are avoided entirely (one RDL suffices), and the links are short enough
+for single-cycle traversal without repeaters.
+"""
+
+from conftest import bench_config, publish
+
+from repro.harness.figures import figure7
+
+
+def test_figure7(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure7(bench_config()), rounds=1, iterations=1
+    )
+    design = result.design
+    from repro.harness.render import design_map
+
+    publish("figure7", result.render() + "\n\n" + design_map(design))
+
+    # Every CB got a group; most have several EIRs.
+    assert len(design.eir_design.groups) == 8
+    assert design.num_eirs >= 16
+
+    grid = design.grid
+    distances = [
+        grid.hops(cb, e) for cb, e in design.eir_design.links()
+    ]
+    assert all(2 <= d <= 3 for d in distances)
+    two_hop = sum(1 for d in distances if d == 2)
+    assert two_hop / len(distances) >= 0.5  # mostly 2-hop, as in the paper
+
+    # Physical viability: few crossings, few RDL layers.
+    assert design.rdl_plan.num_crossings <= 2
+    assert design.rdl_plan.num_layers <= 2

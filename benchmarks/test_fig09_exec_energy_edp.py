@@ -1,0 +1,108 @@
+"""Figure 9: execution time, NoC energy and EDP for the seven schemes
+across the 29-benchmark suite, normalised to SingleBase.
+
+Paper headline numbers (shape targets, not absolutes):
+
+* EquiNox cuts execution time 47.7% vs SingleBase and 23.5% vs
+  SeparateBase — the largest reduction of all schemes.
+* EquiNox cuts EDP 55.0% vs SingleBase and 32.8% vs SeparateBase.
+* EquiNox uses 18.9% less NoC energy than SeparateBase.
+* VC-Mono trims ~3.6% off SingleBase; Interposer-CMesh is the best
+  single-network scheme; DA2Mesh and MultiPort average out near
+  SeparateBase.
+"""
+
+from conftest import publish, shared_figure9
+
+from repro.harness.analysis import (
+    classify,
+    crossover_benchmarks,
+    summarize_scheme,
+)
+from repro.harness.metrics import format_table, reduction_percent
+
+
+def test_figure9(benchmark):
+    fig9 = benchmark.pedantic(shared_figure9, rounds=1, iterations=1)
+
+    exec_norm = fig9.normalized_means("cycles")
+    energy_norm = fig9.normalized_means("energy_nj")
+    edp_norm = fig9.normalized_means("edp")
+
+    rows = [
+        (s, exec_norm[s], energy_norm[s], edp_norm[s])
+        for s in fig9.schemes
+    ]
+    summary = format_table(
+        ("Scheme", "Exec time", "Energy", "EDP"), rows
+    )
+    detail_rows = []
+    for bench in fig9.benchmarks:
+        values = {
+            s: fig9.results[(s, bench)].cycles for s in fig9.schemes
+        }
+        base = values["SingleBase"]
+        detail_rows.append(
+            tuple([bench] + [values[s] / base for s in fig9.schemes])
+        )
+    detail = format_table(tuple(["Benchmark"] + fig9.schemes), detail_rows)
+
+    # Narrative analysis: EquiNox summary, sensitivity classes, and the
+    # DA2Mesh-vs-SeparateBase crossover the paper's prose describes.
+    eq = summarize_scheme("EquiNox", fig9.results, fig9.benchmarks)
+    classes = classify(
+        {b: fig9.results[("SingleBase", b)] for b in fig9.benchmarks},
+        {b: fig9.results[("EquiNox", b)] for b in fig9.benchmarks},
+    )
+    class_counts = {}
+    for c in classes:
+        class_counts[c.label] = class_counts.get(c.label, 0) + 1
+    da2_wins, sep_wins = crossover_benchmarks(
+        "DA2Mesh", "SeparateBase", fig9.results, fig9.benchmarks
+    )
+    analysis = (
+        f"EquiNox: mean exec reduction {100 * eq.mean_reduction:.1f}% "
+        f"(best {eq.best_benchmark} {100 * eq.best_reduction:.1f}%, "
+        f"worst {eq.worst_benchmark} {100 * eq.worst_reduction:.1f}%), "
+        f"wins {eq.wins}/{eq.total}\n"
+        f"sensitivity classes: {class_counts}\n"
+        f"DA2Mesh beats SeparateBase on {len(da2_wins)} benchmarks, "
+        f"loses on {len(sep_wins)}"
+    )
+    publish(
+        "figure9",
+        "Figure 9 (normalised to SingleBase, mean over 29 benchmarks)\n"
+        + summary + "\n\nPer-benchmark execution time:\n" + detail
+        + "\n\n" + analysis,
+    )
+
+    # ---- shape assertions -------------------------------------------
+    # EquiNox is the fastest scheme and has the lowest EDP.
+    assert exec_norm["EquiNox"] == min(exec_norm.values())
+    assert edp_norm["EquiNox"] == min(edp_norm.values())
+
+    # Large EquiNox gains vs both baselines.
+    exec_vs_single = reduction_percent(1.0, exec_norm["EquiNox"])
+    exec_vs_separate = reduction_percent(
+        exec_norm["SeparateBase"], exec_norm["EquiNox"]
+    )
+    assert exec_vs_single > 15.0
+    assert exec_vs_separate > 8.0
+
+    edp_vs_separate = reduction_percent(
+        edp_norm["SeparateBase"], edp_norm["EquiNox"]
+    )
+    assert edp_vs_separate > 15.0
+
+    # EquiNox beats SeparateBase on energy.
+    assert energy_norm["EquiNox"] < energy_norm["SeparateBase"]
+
+    # VC-Mono helps SingleBase a little.
+    assert exec_norm["VC-Mono"] <= 1.01
+
+    # Separate-network baseline beats single-network baseline.
+    assert exec_norm["SeparateBase"] < 1.0
+
+    # DA2Mesh and MultiPort land in SeparateBase's neighbourhood.
+    assert abs(exec_norm["DA2Mesh"] - exec_norm["SeparateBase"]) < 0.15
+    assert abs(exec_norm["MultiPort"] - exec_norm["SeparateBase"]) < 0.15

@@ -1,0 +1,41 @@
+"""Figure 10: packet latency, broken into request/reply and
+queuing/non-queuing parts (in nanoseconds, like the paper, so DA2Mesh's
+2.5x clock domain is compared fairly).
+
+Paper shape: request latency exceeds reply latency (the reply-injection
+backpressure propagates into the request network — the parking-lot
+effect); DA2Mesh shows the highest serialisation-driven latency;
+EquiNox has the lowest reply latency and sharply reduced request
+queuing.
+"""
+
+from conftest import publish, shared_figure9
+
+from repro.harness.figures import figure10
+
+
+def test_figure10(benchmark):
+    fig9 = shared_figure9()
+    fig10 = benchmark.pedantic(
+        lambda: figure10(fig9), rounds=1, iterations=1
+    )
+    publish("figure10", fig10.render())
+
+    lat = fig10.mean_latency()
+
+    # Backpressure: request latency > reply latency for the baselines.
+    for scheme in ("SingleBase", "SeparateBase"):
+        assert lat[scheme].request_total > lat[scheme].reply_total
+
+    # EquiNox reduces total packet latency vs both baselines.
+    assert lat["EquiNox"].total < lat["SingleBase"].total
+    assert lat["EquiNox"].total < lat["SeparateBase"].total
+
+    # EquiNox's request queuing collapses relative to SingleBase.
+    assert lat["EquiNox"].request_queuing < 0.7 * lat["SingleBase"].request_queuing
+
+    # DA2Mesh pays extra reply (serialisation) latency vs SeparateBase.
+    assert (
+        lat["DA2Mesh"].reply_non_queuing
+        > lat["SeparateBase"].reply_non_queuing
+    )

@@ -1,0 +1,30 @@
+"""Figure 11: NoC area of the seven schemes.
+
+Paper shape: single-network schemes are cheapest except Interposer-
+CMesh (whose 16 double-ported overlay routers push it up); DA2Mesh's
+narrow routers keep it below the other separate-network schemes;
+MultiPort and EquiNox pay extra ports over SeparateBase — EquiNox about
+4.6% more die area than SeparateBase.
+"""
+
+import pytest
+from conftest import bench_config, publish
+
+from repro.harness.figures import figure11
+
+
+def test_figure11(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure11(bench_config()), rounds=1, iterations=1
+    )
+    publish("figure11", result.render())
+    areas = result.areas
+
+    assert areas["SingleBase"] < areas["SeparateBase"]
+    assert areas["VC-Mono"] == pytest.approx(areas["SingleBase"], rel=0.02)
+    assert areas["Interposer-CMesh"] > areas["SingleBase"]
+    assert areas["DA2Mesh"] < areas["MultiPort"]
+    assert areas["MultiPort"] > areas["SeparateBase"]
+
+    overhead = areas["EquiNox"] / areas["SeparateBase"] - 1.0
+    assert 0.01 < overhead < 0.12  # paper: 4.6%

@@ -1,0 +1,32 @@
+"""Figure 12: scalability of EquiNox to 12x12 and 16x16 networks.
+
+Paper numbers: EquiNox's IPC gain over the separate-network baseline is
+1.23x at 8x8, 1.31x at 12x12 and 1.30x at 16x16 — the benefit holds or
+grows with network size because larger networks have a more serious
+injection bottleneck.
+"""
+
+import os
+
+from conftest import publish
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.figures import figure12
+
+
+def test_figure12(benchmark):
+    quota = int(os.environ.get("REPRO_BENCH_QUOTA", "100"))
+    config = ExperimentConfig(quota=quota, mcts_iterations=60)
+    result = benchmark.pedantic(
+        lambda: figure12(config, widths=(8, 12, 16), num_benchmarks=5,
+                         progress=True),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure12", result.render())
+
+    # EquiNox wins at every size...
+    for width in result.widths:
+        assert result.speedups[width] > 1.0
+    # ...and the gain does not collapse as the network grows.
+    assert result.speedups[16] > 0.85 * result.speedups[8]

@@ -1,0 +1,17 @@
+"""Table 1: the simulation configuration."""
+
+from conftest import bench_config, publish
+
+from repro.harness.figures import table1
+
+
+def test_table1(benchmark):
+    result = benchmark.pedantic(
+        lambda: table1(bench_config()), rounds=1, iterations=1
+    )
+    publish("table1", result.render())
+    labels = dict(result.rows)
+    assert labels["Virtual channel"] == "2/port, 1 pkt/VC"
+    assert labels["Allocator"] == "Separable input first"
+    assert "1126" in labels["PE frequency"]
+    assert labels["# of LLC banks"] == "8"

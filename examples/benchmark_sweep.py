@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Sweep schemes across a benchmark slice and print a Figure-9-style table.
+
+A scaled-down version of the paper's headline experiment: five
+benchmarks spanning compute-bound (gaussian) to memory-bound (kmeans),
+all seven schemes, normalised execution time / energy / EDP.
+
+Run:  python examples/benchmark_sweep.py           (about 3-5 minutes)
+      python examples/benchmark_sweep.py --quick   (smaller runs)
+"""
+
+import sys
+
+from repro import ExperimentConfig, SCHEME_ORDER, run_suite
+from repro.harness.metrics import format_table, normalize
+
+BENCHMARKS = ["gaussian", "hotspot", "bfs", "fastWalshTransform", "kmeans"]
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    config = ExperimentConfig(
+        quota=40 if quick else 80,
+        mcts_iterations=40 if quick else 100,
+    )
+    print(f"Running {len(SCHEME_ORDER)} schemes x {len(BENCHMARKS)} "
+          f"benchmarks (quota={config.quota}) ...")
+    results = run_suite(SCHEME_ORDER, BENCHMARKS, config, progress=True)
+
+    for metric, label in (
+        ("cycles", "Execution time"),
+        ("energy_nj", "NoC energy"),
+        ("edp", "Energy-delay product"),
+    ):
+        rows = []
+        means = {s: 0.0 for s in SCHEME_ORDER}
+        for bench in BENCHMARKS:
+            values = {
+                s: getattr(results[(s, bench)], metric) for s in SCHEME_ORDER
+            }
+            normed = normalize(values, "SingleBase")
+            rows.append(tuple([bench] + [normed[s] for s in SCHEME_ORDER]))
+            for s in SCHEME_ORDER:
+                means[s] += normed[s] / len(BENCHMARKS)
+        rows.append(tuple(["MEAN"] + [means[s] for s in SCHEME_ORDER]))
+        print(f"\n{label} (normalised to SingleBase)")
+        print(format_table(tuple(["Benchmark"] + SCHEME_ORDER), rows))
+
+    eq = means["EquiNox"]
+    sep = means["SeparateBase"]
+    print(
+        f"\nEquiNox EDP: {100 * (1 - eq):.1f}% below SingleBase, "
+        f"{100 * (1 - eq / sep):.1f}% below SeparateBase "
+        f"(paper: 55.0% / 32.8% on the full 29-benchmark suite)"
+    )
+
+
+if __name__ == "__main__":
+    main()

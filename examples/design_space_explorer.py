@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Explore the EIR design space: placements, searches, wire plans.
+
+This example is for architects tuning the design flow itself rather
+than just consuming its output:
+
+* scores every 8x8 N-Queen placement and shows the penalty spread,
+* compares MCTS against random search at matched evaluation budgets,
+* inspects how the four evaluation metrics trade off in the winning
+  design, and
+* prints the RDL wire plan with per-link lengths and layer assignment.
+
+Run:  python examples/design_space_explorer.py
+"""
+
+from repro.core import evaluation
+from repro.core.grid import Grid
+from repro.core.hotzone import placement_penalty
+from repro.core.mcts import EirSearch, SearchConfig, random_search
+from repro.core.nqueen import solution_to_nodes, solve_all
+from repro.core.placement import nqueen_best
+from repro.physical import interposer
+
+
+def score_all_placements(grid: Grid) -> None:
+    print("-" * 64)
+    print("N-Queen placement scoring (all 92 solutions on 8x8)")
+    print("-" * 64)
+    penalties = sorted(
+        placement_penalty(grid, solution_to_nodes(grid, cols))
+        for cols in solve_all(grid.width)
+    )
+    print(f"solutions: {len(penalties)}")
+    print(f"penalty: min={penalties[0]} median={penalties[46]} "
+          f"max={penalties[-1]}")
+    best = nqueen_best(grid, 8)
+    print(f"chosen placement (penalty {best.penalty}): "
+          f"{[grid.coord(n) for n in best.nodes]}")
+
+
+def compare_searches(grid: Grid, placement) -> None:
+    print()
+    print("-" * 64)
+    print("MCTS vs random search (matched evaluation budgets)")
+    print("-" * 64)
+    print(f"{'iter/level':>10} {'evals':>6} {'MCTS score':>11} "
+          f"{'random score':>13}")
+    for iterations in (5, 25, 100):
+        mcts = EirSearch(
+            grid, placement.nodes,
+            SearchConfig(iterations_per_level=iterations, seed=0),
+        ).run()
+        rand = random_search(
+            grid, placement.nodes, samples=max(mcts.designs_evaluated, 1),
+            config=SearchConfig(seed=0),
+        )
+        print(f"{iterations:>10} {mcts.designs_evaluated:>6} "
+              f"{mcts.evaluation.score:>11.4f} "
+              f"{rand.evaluation.score:>13.4f}")
+
+
+def inspect_winner(grid: Grid, placement) -> None:
+    print()
+    print("-" * 64)
+    print("Winning design: evaluation metrics and RDL plan")
+    print("-" * 64)
+    result = EirSearch(
+        grid, placement.nodes, SearchConfig(iterations_per_level=150, seed=0)
+    ).run()
+    design = result.design
+    for name, raw in result.evaluation.raw.items():
+        norm = result.evaluation.normalized[name]
+        print(f"  {name:12s} raw={raw:8.2f}  normalised={norm:.3f}")
+
+    plan = interposer.plan_for_design(design)
+    print(f"\nRDL plan: {plan.num_crossings} crossings -> "
+          f"{plan.num_layers} layer(s), "
+          f"{plan.total_length_mm:.1f} mm of wire, "
+          f"repeaters needed: {plan.needs_repeaters()}")
+    for (src, dst), segment, layer in zip(
+        plan.links, plan.segments, plan.layer_of
+    ):
+        print(f"  CB {grid.coord(src)} -> EIR {grid.coord(dst)}  "
+              f"len={segment.length:.1f} tiles  layer={layer}")
+
+    loads = evaluation.injection_loads(design)
+    hottest = max(loads, key=loads.get)
+    print(f"\nhottest injection point: node {grid.coord(hottest)} "
+          f"with load {loads[hottest]:.1f} PE-shares "
+          f"(no-EIR baseline would be 56.0)")
+
+
+def main() -> None:
+    grid = Grid(8)
+    placement = nqueen_best(grid, 8)
+    score_all_placements(grid)
+    compare_searches(grid, placement)
+    inspect_winner(grid, placement)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``design``
+    Run the EquiNox design flow and print (optionally save) the result.
+``run``
+    Run one scheme x benchmark experiment and print its metrics.
+``sweep``
+    Run several schemes over several benchmarks; print a normalised
+    Figure-9-style table.
+``figure``
+    Regenerate one of the paper's light figures/tables.
+``list``
+    Show the available schemes and benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .core.equinox import design_equinox
+from .core.mcts import SearchConfig
+from .core.serialize import load_design, save_design
+from .harness.experiment import ExperimentConfig, run_experiment, run_suite
+from .harness.metrics import format_table, normalize
+from .schemes import SCHEME_ORDER
+from .workloads import names as benchmark_names
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--width", type=int, default=8,
+                        help="mesh dimension (default 8)")
+    parser.add_argument("--cbs", type=int, default=8,
+                        help="number of cache banks (default 8)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    if args.load:
+        design = load_design(args.load)
+        print(f"loaded {args.load}")
+    else:
+        design = design_equinox(
+            args.width,
+            args.cbs,
+            SearchConfig(iterations_per_level=args.iterations,
+                         seed=args.seed),
+        )
+    print(design.summary())
+    if args.save:
+        path = save_design(design, args.save)
+        print(f"saved to {path}")
+    return 0
+
+
+def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        width=args.width,
+        num_cbs=args.cbs,
+        quota=args.quota,
+        seed=args.seed,
+        mcts_iterations=args.iterations,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.scheme, args.benchmark,
+                            _experiment_config(args))
+    lat = result.latency
+    rows = [
+        ("cycles", float(result.cycles)),
+        ("IPC", result.ipc),
+        ("execution (ns)", result.execution_ns),
+        ("NoC energy (nJ)", result.energy_nj),
+        ("EDP (nJ*ns)", result.edp),
+        ("NoC area (mm^2)", result.area_mm2),
+        ("reply bit share", result.reply_bits_fraction),
+        ("request latency (ns)", lat.request_total),
+        ("reply latency (ns)", lat.reply_total),
+    ]
+    print(f"{args.scheme} x {args.benchmark} "
+          f"({args.width}x{args.width}, quota {args.quota})")
+    print(format_table(("Metric", "Value"), rows))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    schemes = args.schemes or SCHEME_ORDER
+    benchmarks = args.benchmarks or ["gaussian", "hotspot", "kmeans"]
+    results = run_suite(schemes, benchmarks, _experiment_config(args),
+                        progress=True)
+    for metric, label in (("cycles", "Execution time"),
+                          ("energy_nj", "Energy"), ("edp", "EDP")):
+        rows = []
+        for bench in benchmarks:
+            values = {s: getattr(results[(s, bench)], metric)
+                      for s in schemes}
+            base = schemes[0]
+            normed = normalize(values, base)
+            rows.append(tuple([bench] + [normed[s] for s in schemes]))
+        print(f"\n{label} (normalised to {schemes[0]})")
+        print(format_table(tuple(["Benchmark"] + list(schemes)), rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from .harness import figures
+
+    config = ExperimentConfig(
+        width=args.width, num_cbs=args.cbs, seed=args.seed,
+        quota=args.quota, mcts_iterations=args.iterations,
+    )
+    producers = {
+        "table1": lambda: figures.table1(config),
+        "fig4": figures.figure4,
+        "fig5": figures.figure5,
+        "fig7": lambda: figures.figure7(config),
+        "fig11": lambda: figures.figure11(config),
+        "sec66": lambda: figures.section66(config),
+    }
+    print(producers[args.name]().render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .harness.report import write_report
+
+    path = write_report(args.results, args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("schemes:")
+    for name in SCHEME_ORDER:
+        print(f"  {name}")
+    print("benchmarks:")
+    for name in benchmark_names():
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EquiNox (HPCA 2020) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_design = sub.add_parser("design", help="run the EquiNox design flow")
+    _add_common(p_design)
+    p_design.add_argument("--iterations", type=int, default=150,
+                          help="MCTS iterations per tree level")
+    p_design.add_argument("--save", help="write the design to a JSON file")
+    p_design.add_argument("--load", help="load a design instead of searching")
+    p_design.set_defaults(func=_cmd_design)
+
+    p_run = sub.add_parser("run", help="run one scheme x benchmark")
+    _add_common(p_run)
+    p_run.add_argument("--scheme", default="EquiNox", choices=SCHEME_ORDER)
+    p_run.add_argument("--benchmark", default="kmeans")
+    p_run.add_argument("--quota", type=int, default=100)
+    p_run.add_argument("--iterations", type=int, default=150)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="scheme x benchmark grid")
+    _add_common(p_sweep)
+    p_sweep.add_argument("--schemes", nargs="*", choices=SCHEME_ORDER)
+    p_sweep.add_argument("--benchmarks", nargs="*")
+    p_sweep.add_argument("--quota", type=int, default=60)
+    p_sweep.add_argument("--iterations", type=int, default=100)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fig = sub.add_parser("figure", help="regenerate a light paper figure")
+    _add_common(p_fig)
+    p_fig.add_argument("name", choices=["table1", "fig4", "fig5", "fig7",
+                                        "fig11", "sec66"])
+    p_fig.add_argument("--quota", type=int, default=60)
+    p_fig.add_argument("--iterations", type=int, default=100)
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_report = sub.add_parser(
+        "report", help="collect results/ into one markdown report"
+    )
+    p_report.add_argument("--results", default="results")
+    p_report.add_argument("--output", default="results/REPORT.md")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_list = sub.add_parser("list", help="show schemes and benchmarks")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""EquiNox core: placement, hot zones, EIR selection and the design flow."""
+
+from .equinox import EquiNoxDesign, design_equinox, design_from_groups
+from .eir import EirDesign, EirGroup, make_group, no_eir_design
+from .grid import Grid
+from .placement import PlacementResult, by_name as placement_by_name
+
+__all__ = [
+    "EquiNoxDesign",
+    "design_equinox",
+    "design_from_groups",
+    "EirDesign",
+    "EirGroup",
+    "make_group",
+    "no_eir_design",
+    "Grid",
+    "PlacementResult",
+    "placement_by_name",
+]

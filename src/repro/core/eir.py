@@ -1,0 +1,234 @@
+"""Equivalent Injection Router (EIR) groups and their design space.
+
+An EIR group is the set of routers a cache bank may inject through in
+addition to its local router (paper section 3).  EquiNox constrains the
+group per the paper's two simplifications (section 4.3):
+
+* at most one EIR per axis direction from the CB (two EIRs in the same
+  direction would contend with each other), and
+* EIRs within a few hops of the CB (short interposer links, fewer
+  crossings).
+
+Candidates at distance 1 are excluded because they sit in the CB's own
+Direct Access Zone — injecting there adds traffic exactly where the hot
+zone already is.  Candidates inside *any* CB's hot zone, or on a CB
+node, are excluded for the same reason (section 3.2.4).  EIRs are never
+shared between CBs (section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from . import hotzone
+from .grid import AXIS_DIRECTIONS, Coord, Grid
+
+MIN_EIR_DISTANCE = 2
+MAX_EIR_DISTANCE = 3
+
+
+@dataclass(frozen=True)
+class EirGroup:
+    """The EIRs selected for one cache bank.
+
+    ``eirs`` maps an axis direction to the node id of the EIR placed on
+    that axis (directions without an EIR are absent).
+    """
+
+    cb: int
+    eirs: Tuple[Tuple[Coord, int], ...]
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """EIR node ids (excluding the CB's local router)."""
+        return tuple(node for _, node in self.eirs)
+
+    @property
+    def by_direction(self) -> Dict[Coord, int]:
+        return dict(self.eirs)
+
+    def __len__(self) -> int:
+        return len(self.eirs)
+
+
+def make_group(cb: int, eirs: Dict[Coord, int]) -> EirGroup:
+    """Build an :class:`EirGroup` from a direction->node mapping."""
+    return EirGroup(cb=cb, eirs=tuple(sorted(eirs.items())))
+
+
+def candidate_positions(
+    grid: Grid,
+    placement: Sequence[int],
+    cb: int,
+    min_distance: int = MIN_EIR_DISTANCE,
+    max_distance: int = MAX_EIR_DISTANCE,
+) -> Dict[Coord, List[int]]:
+    """Per-direction EIR candidates for ``cb`` under ``placement``.
+
+    Returns a mapping from each axis direction to the list of node ids
+    that may host an EIR in that direction, ordered by distance.
+    """
+    if cb not in placement:
+        raise ValueError(f"node {cb} is not a CB in the given placement")
+    # Forbid CB nodes themselves and every CB's Direct Access Zone: DAZ
+    # tiles carry every first-hop flit of their CB and must not take on
+    # extra injection load (section 3.2.4).  Corner tiles (CAZ) remain
+    # eligible — with N-Queen placement a 2-hop on-axis candidate of one
+    # CB is often another CB's CAZ, and the paper's Figure-7 design
+    # includes such nodes.
+    forbidden = set(placement)
+    for other in placement:
+        forbidden |= hotzone.daz(grid, other)
+    x, y = grid.coord(cb)
+    candidates: Dict[Coord, List[int]] = {d: [] for d in AXIS_DIRECTIONS}
+    for dx in range(-max_distance, max_distance + 1):
+        for dy in range(-max_distance, max_distance + 1):
+            dist = abs(dx) + abs(dy)
+            if not min_distance <= dist <= max_distance:
+                continue
+            if not grid.contains(x + dx, y + dy):
+                continue
+            node = grid.node(x + dx, y + dy)
+            if node in forbidden:
+                continue
+            # Sector assignment by dominant displacement; diagonal ties
+            # go to the x sector so each node has exactly one direction.
+            if abs(dx) >= abs(dy) and dx != 0:
+                direction = (1, 0) if dx > 0 else (-1, 0)
+            else:
+                direction = (0, 1) if dy > 0 else (0, -1)
+            candidates[direction].append(node)
+    for direction in AXIS_DIRECTIONS:
+        # Order near-to-far, then by node id, for determinism.
+        candidates[direction].sort(key=lambda n: (grid.hops(cb, n), n))
+    return candidates
+
+
+def enumerate_groups(
+    grid: Grid,
+    placement: Sequence[int],
+    cb: int,
+    taken: FrozenSet[int] = frozenset(),
+    min_distance: int = MIN_EIR_DISTANCE,
+    max_distance: int = MAX_EIR_DISTANCE,
+    require_full: bool = False,
+) -> List[EirGroup]:
+    """All legal EIR groups for ``cb``, skipping nodes already ``taken``.
+
+    ``require_full`` keeps only groups with an EIR in every direction
+    that has at least one candidate (used to bias the search toward
+    high-injection-bandwidth designs).
+    """
+    per_dir = candidate_positions(
+        grid, placement, cb, min_distance=min_distance, max_distance=max_distance
+    )
+    directions = list(per_dir)
+    groups: List[EirGroup] = []
+
+    def recurse(idx: int, chosen: Dict[Coord, int]) -> None:
+        if idx == len(directions):
+            groups.append(make_group(cb, dict(chosen)))
+            return
+        direction = directions[idx]
+        options = [n for n in per_dir[direction] if n not in taken
+                   and n not in chosen.values()]
+        if not options or not require_full:
+            recurse(idx + 1, chosen)  # leave this direction empty
+        for node in options:
+            chosen[direction] = node
+            recurse(idx + 1, chosen)
+            del chosen[direction]
+
+    recurse(0, {})
+    return groups
+
+
+def design_space_size(
+    grid: Grid,
+    placement: Sequence[int],
+    min_distance: int = 1,
+    max_distance: int = MAX_EIR_DISTANCE,
+) -> int:
+    """Upper bound on the number of complete EIR selections.
+
+    The product over CBs of their per-CB group counts (ignoring the
+    no-sharing interaction between CBs, hence an upper bound).  With
+    ``min_distance=1`` and ``max_distance=3`` this reports the size of
+    the raw space the paper quotes as ~1.7e10 for 8x8.
+    """
+    total = 1
+    for cb in placement:
+        groups = enumerate_groups(
+            grid,
+            placement,
+            cb,
+            min_distance=min_distance,
+            max_distance=max_distance,
+        )
+        total *= len(groups)
+    return total
+
+
+@dataclass(frozen=True)
+class EirDesign:
+    """A complete EIR selection: one group per cache bank."""
+
+    grid: Grid
+    placement: Tuple[int, ...]
+    groups: Tuple[EirGroup, ...]
+
+    def __post_init__(self) -> None:
+        cbs = [g.cb for g in self.groups]
+        if sorted(cbs) != sorted(self.placement):
+            raise ValueError("groups must cover exactly the placed CBs")
+        all_eirs = [n for g in self.groups for n in g.nodes]
+        if len(all_eirs) != len(set(all_eirs)):
+            raise ValueError("an EIR may not be shared between CBs")
+        overlap = set(all_eirs) & set(self.placement)
+        if overlap:
+            raise ValueError(f"nodes {sorted(overlap)} are both CB and EIR")
+
+    @property
+    def group_by_cb(self) -> Dict[int, EirGroup]:
+        return {g.cb: g for g in self.groups}
+
+    @property
+    def eir_nodes(self) -> FrozenSet[int]:
+        return frozenset(n for g in self.groups for n in g.nodes)
+
+    def links(self) -> List[Tuple[int, int]]:
+        """The interposer links as ``(cb, eir)`` node pairs."""
+        return [(g.cb, node) for g in self.groups for node in g.nodes]
+
+    def total_link_length(self) -> int:
+        """Sum of link lengths in mesh hops."""
+        return sum(self.grid.hops(cb, eir) for cb, eir in self.links())
+
+    def injection_points(self, cb: int) -> Tuple[int, ...]:
+        """All routers ``cb`` may inject through (local router first)."""
+        return (cb,) + self.group_by_cb[cb].nodes
+
+
+def shortest_path_eirs(grid: Grid, design: EirDesign, cb: int, dst: int) -> List[int]:
+    """EIRs of ``cb`` that lie on a minimal path from ``cb`` to ``dst``.
+
+    An EIR ``e`` qualifies when ``hops(cb, e) + hops(e, dst) ==
+    hops(cb, dst)`` — injecting there causes no detour.  The local
+    router always qualifies and is *not* included here.
+    """
+    if cb == dst:
+        raise ValueError("a CB does not send packets to itself")
+    base = grid.hops(cb, dst)
+    group = design.group_by_cb[cb]
+    return [
+        node
+        for node in group.nodes
+        if grid.hops(cb, node) + grid.hops(node, dst) == base
+    ]
+
+
+def no_eir_design(grid: Grid, placement: Sequence[int]) -> EirDesign:
+    """A degenerate design with empty groups (baseline injection only)."""
+    groups = tuple(make_group(cb, {}) for cb in placement)
+    return EirDesign(grid=grid, placement=tuple(placement), groups=groups)

@@ -1,0 +1,152 @@
+"""The four-metric evaluation function guiding MCTS (paper section 4.3).
+
+For a complete EIR design the function combines, after normalisation:
+
+1. **Max EIR traffic load** — assuming each PE receives a similar share
+   of reply traffic, distribute each CB's traffic over its injection
+   points per the buffer-selection policy and take the maximum load of
+   any injection point.  Minimising this balances the EIRs and avoids
+   hotspots.
+2. **Average hop count** — latency proxy: one cycle to enter the chosen
+   injection router (local or via one-cycle interposer hop) plus mesh
+   hops from there to the destination.
+3. **Number of intersection points** in the RDL wire plan (layer cost).
+4. **Total interposer link length** (repeater/active-interposer risk).
+
+All metrics are cheap to compute, which is what lets MCTS call this in
+every backpropagation step instead of running full-system simulation.
+Lower scores are better; :func:`reward` maps scores to ``(0, 1]`` for
+UCB backpropagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..physical import interposer
+from .eir import EirDesign, shortest_path_eirs
+from .grid import Grid
+
+DEFAULT_WEIGHTS: Mapping[str, float] = {
+    "max_load": 1.0,
+    "avg_hops": 1.0,
+    "crossings": 2.0,
+    "link_length": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Raw and normalised metrics plus the combined score (lower=better)."""
+
+    raw: Dict[str, float]
+    normalized: Dict[str, float]
+    score: float
+
+
+def injection_loads(design: EirDesign) -> Dict[int, float]:
+    """Traffic load per injection point, in PE-destination shares.
+
+    Every PE destination contributes one unit of traffic per CB; the
+    unit is split evenly over the shortest-path injection points the
+    buffer selector would rotate through (the round-robin of Buffer
+    Selection 1), or assigned to the local router when no EIR is on a
+    shortest path.
+    """
+    grid = design.grid
+    cb_set = set(design.placement)
+    pes = [n for n in grid.nodes() if n not in cb_set]
+    loads: Dict[int, float] = {}
+    for cb in design.placement:
+        for inj in design.injection_points(cb):
+            loads.setdefault(inj, 0.0)
+        for dst in pes:
+            choices = shortest_path_eirs(grid, design, cb, dst)
+            if not choices:
+                choices = [cb]
+            share = 1.0 / len(choices)
+            for inj in choices:
+                loads[inj] += share
+    return loads
+
+
+def average_hops(design: EirDesign) -> float:
+    """Mean effective hop count over all (CB, PE) pairs.
+
+    Entering an injection router costs one hop (the local link or the
+    single-cycle interposer link), then mesh hops to the destination.
+    Interposer links thus shortcut the first ``distance(cb, eir)`` mesh
+    hops into one.
+    """
+    grid = design.grid
+    cb_set = set(design.placement)
+    pes = [n for n in grid.nodes() if n not in cb_set]
+    total = 0.0
+    pairs = 0
+    for cb in design.placement:
+        for dst in pes:
+            choices = shortest_path_eirs(grid, design, cb, dst)
+            if choices:
+                hops = sum(1 + grid.hops(e, dst) for e in choices) / len(choices)
+            else:
+                hops = 1 + grid.hops(cb, dst) - 1  # local injection
+            total += hops
+            pairs += 1
+    return total / pairs if pairs else 0.0
+
+
+def _baseline_avg_hops(grid: Grid, placement: Sequence[int]) -> float:
+    """Average hops with no EIRs at all (normalisation reference)."""
+    cb_set = set(placement)
+    pes = [n for n in grid.nodes() if n not in cb_set]
+    total = sum(grid.hops(cb, dst) for cb in placement for dst in pes)
+    return total / (len(placement) * len(pes))
+
+
+def evaluate(
+    design: EirDesign,
+    weights: Optional[Mapping[str, float]] = None,
+) -> EvalResult:
+    """Evaluate a complete EIR design; lower scores are better."""
+    weights = dict(DEFAULT_WEIGHTS if weights is None else weights)
+    grid = design.grid
+    plan = interposer.plan_for_design(design)
+
+    loads = injection_loads(design)
+    max_load = max(loads.values()) if loads else 0.0
+    avg_hops = average_hops(design)
+    crossings = float(plan.num_crossings)
+    link_length = float(design.total_link_length())
+
+    num_pes = grid.size - len(design.placement)
+    num_links = len(design.links())
+    max_links = 4 * len(design.placement)
+
+    raw = {
+        "max_load": max_load,
+        "avg_hops": avg_hops,
+        "crossings": crossings,
+        "link_length": link_length,
+    }
+    normalized = {
+        # A design with no EIRs funnels all num_pes shares through one
+        # router, so num_pes is the worst case.
+        "max_load": max_load / num_pes if num_pes else 0.0,
+        "avg_hops": avg_hops / _baseline_avg_hops(grid, design.placement),
+        # Each crossing forces another RDL layer somewhere; normalising
+        # per link keeps a handful of crossings clearly visible to the
+        # search (a combinatorial worst case would drown them out).
+        "crossings": crossings / num_links if num_links else 0.0,
+        # Worst case: the maximum number of links, all at max distance.
+        "link_length": (
+            link_length / (max_links * 3) if max_links else 0.0
+        ),
+    }
+    score = sum(weights[name] * normalized[name] for name in normalized)
+    return EvalResult(raw=raw, normalized=normalized, score=score)
+
+
+def reward(result: EvalResult) -> float:
+    """Map an evaluation score to a UCB reward in ``(0, 1]``."""
+    return 1.0 / (1.0 + result.score)

@@ -1,0 +1,16 @@
+"""GPU substrate: PEs, cache banks and the full-system model."""
+
+from .cachebank import CacheBank
+from .pe import ProcessingElement
+from .system import SimulationStall, System, SystemConfig, SystemResult
+from .transaction import Transaction
+
+__all__ = [
+    "CacheBank",
+    "ProcessingElement",
+    "SimulationStall",
+    "System",
+    "SystemConfig",
+    "SystemResult",
+    "Transaction",
+]

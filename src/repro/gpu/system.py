@@ -1,0 +1,164 @@
+"""The full-chip model: PEs + cache banks + fabric + memory.
+
+``System.run`` executes one benchmark on one scheme and returns a
+:class:`SystemResult` with everything the harness needs: execution
+cycles, IPC, per-network statistics, memory utilisation, and the
+transaction population for latency analysis.
+
+Termination: every PE exhausts its instruction quota and receives all
+replies.  A watchdog raises :class:`SimulationStall` if nothing makes
+progress for a long stretch (a protocol deadlock would otherwise hang
+the harness silently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..mem.hbm import HbmTiming
+from ..schemes.base import Fabric
+from ..workloads.profiles import WorkloadProfile
+from .cachebank import CacheBank
+from .pe import ProcessingElement
+from .transaction import Transaction
+
+DEFAULT_QUOTA = 150
+WATCHDOG_CYCLES = 20000
+
+
+class SimulationStall(RuntimeError):
+    """No progress for ``WATCHDOG_CYCLES`` base cycles."""
+
+
+@dataclass
+class SystemConfig:
+    """Per-run knobs of the full-system model."""
+
+    quota: int = DEFAULT_QUOTA           # memory instructions per PE
+    mshrs: int = 32
+    cb_capacity: int = 16
+    l2_latency: int = 12
+    seed: int = 0
+    max_cycles: int = 400000
+    timing: Optional[HbmTiming] = None
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one full-system run."""
+
+    cycles: int
+    instructions: int
+    transactions: List[Transaction]
+    fabric: Fabric
+    pe_stall_cycles: int
+    cb_stall_cycles: int
+
+    @property
+    def ipc(self) -> float:
+        """Memory instructions completed per cycle (whole chip)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def mean_round_trip(self) -> float:
+        done = [t for t in self.transactions if t.completed is not None]
+        if not done:
+            return 0.0
+        return sum(t.round_trip for t in done) / len(done)
+
+
+class System:
+    """One scheme x workload instance, ready to run."""
+
+    def __init__(
+        self,
+        fabric: Fabric,
+        profile: WorkloadProfile,
+        config: Optional[SystemConfig] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.profile = profile
+        self.config = config or SystemConfig()
+        cfg = self.config
+        placement = list(fabric.placement)
+        self.pes: Dict[int, ProcessingElement] = {}
+        for index, node in enumerate(fabric.pes):
+            self.pes[node] = ProcessingElement(
+                node=node,
+                profile=profile,
+                num_cbs=len(placement),
+                quota=cfg.quota,
+                seed=cfg.seed,
+                pe_index=index,
+                mshrs=cfg.mshrs,
+            )
+        self.banks: Dict[int, CacheBank] = {
+            node: CacheBank(
+                node=node,
+                profile=profile,
+                fabric=fabric,
+                seed=cfg.seed,
+                capacity=cfg.cb_capacity,
+                l2_latency=cfg.l2_latency,
+                timing=cfg.timing,
+            )
+            for node in placement
+        }
+        self.transactions: List[Transaction] = []
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> SystemResult:
+        cfg = self.config
+        cb_nodes = list(self.fabric.placement)
+        pes = list(self.pes.values())
+        banks = list(self.banks.values())
+        tid = 0
+        last_progress_seen = 0
+        while self.cycle < cfg.max_cycles:
+            self.cycle += 1
+            cycle = self.cycle
+            # 1. PEs issue new requests and absorb replies.
+            for pe in pes:
+                transaction = pe.try_issue(cycle, tid + 1, cb_nodes)
+                if transaction is not None:
+                    tid += 1
+                    self.transactions.append(transaction)
+                    self.fabric.send_request(
+                        transaction.pe,
+                        transaction.cb,
+                        ProcessingElement.request_type(transaction),
+                        transaction,
+                    )
+                while True:
+                    reply = self.fabric.pop_reply(pe.node)
+                    if reply is None:
+                        break
+                    pe.receive_reply(reply, cycle)
+            # 2. Networks move flits.
+            self.fabric.tick()
+            # 3. CBs accept requests, talk to memory, emit replies.
+            for bank in banks:
+                bank.tick(cycle)
+            # 4. Termination and watchdog.
+            if all(pe.done for pe in pes):
+                break
+            progress = self.fabric.last_progress()
+            if progress > last_progress_seen:
+                last_progress_seen = progress
+            elif cycle - last_progress_seen > WATCHDOG_CYCLES:
+                if not any(
+                    not bank.memory.idle() for bank in banks
+                ):
+                    raise SimulationStall(
+                        f"no network progress since cycle {last_progress_seen}"
+                    )
+                last_progress_seen = cycle  # memory still working; extend
+        return SystemResult(
+            cycles=self.cycle,
+            instructions=sum(pe.issued for pe in pes),
+            transactions=self.transactions,
+            fabric=self.fabric,
+            pe_stall_cycles=sum(pe.stall_cycles for pe in pes),
+            cb_stall_cycles=sum(bank.stall_cycles for bank in banks),
+        )

@@ -1,0 +1,36 @@
+"""Experiment harness: per-figure regeneration of the paper's evaluation."""
+
+from . import cache, figures
+from .experiment import (
+    ExperimentConfig,
+    build_fabric,
+    default_config,
+    run_experiment,
+    run_suite,
+)
+from .metrics import (
+    ExperimentResult,
+    LatencyNs,
+    format_table,
+    geomean,
+    mean,
+    normalize,
+    reduction_percent,
+)
+
+__all__ = [
+    "cache",
+    "figures",
+    "ExperimentConfig",
+    "build_fabric",
+    "default_config",
+    "run_experiment",
+    "run_suite",
+    "ExperimentResult",
+    "LatencyNs",
+    "format_table",
+    "geomean",
+    "mean",
+    "normalize",
+    "reduction_percent",
+]

@@ -1,0 +1,191 @@
+"""Run one (scheme, benchmark, size) experiment and collect metrics.
+
+This is the top of the stack: it wires a scheme's fabric, the GPU
+system model and the workload profile together, runs to completion, and
+reduces everything to the plain-data :class:`ExperimentResult` the
+figure generators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.grid import Grid
+from ..gpu.system import System, SystemConfig
+from ..noc.types import PacketType
+from ..power.area import fabric_area
+from ..power.energy import fabric_energy
+from ..schemes import get_config
+from ..schemes.base import BASE_FREQUENCY_GHZ, Fabric, SchemeConfig
+from ..workloads import profiles
+from . import cache
+from .metrics import ExperimentResult, LatencyNs
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Harness-level knobs shared across a batch of runs."""
+
+    width: int = 8
+    num_cbs: int = 8
+    quota: int = 120
+    mshrs: int = 32
+    cb_capacity: int = 16
+    seed: int = 0
+    mcts_iterations: int = 150
+    max_cycles: int = 400000
+
+
+def default_config() -> ExperimentConfig:
+    """Table 1's configuration at harness scale."""
+    return ExperimentConfig()
+
+
+def build_fabric(
+    scheme_name: str, config: ExperimentConfig
+) -> Fabric:
+    """Instantiate a scheme's fabric at the configured size."""
+    scheme = get_config(scheme_name)
+    grid = Grid(config.width)
+    if scheme.equinox:
+        design = cache.equinox_design(
+            config.width,
+            config.num_cbs,
+            iterations_per_level=config.mcts_iterations,
+            seed=config.seed,
+        )
+        return Fabric(
+            scheme, grid, design.placement.nodes, equinox_design=design
+        )
+    placement = cache.placement(
+        scheme.placement_name, config.width, config.num_cbs
+    )
+    return Fabric(scheme, grid, placement.nodes)
+
+
+def _latency_ns(fabric: Fabric) -> LatencyNs:
+    """Aggregate request/reply latency over the fabric's networks, in ns."""
+    sums = {
+        "request_queuing": 0.0,
+        "request_non_queuing": 0.0,
+        "reply_queuing": 0.0,
+        "reply_non_queuing": 0.0,
+    }
+    counts = {"request": 0, "reply": 0}
+    req_types = (PacketType.READ_REQUEST, PacketType.WRITE_REQUEST)
+    rep_types = (PacketType.READ_REPLY, PacketType.WRITE_REPLY)
+    for net, ratio, _role in fabric.networks:
+        ns_per_cycle = 1.0 / (BASE_FREQUENCY_GHZ * ratio)
+        for label, types in (("request", req_types), ("reply", rep_types)):
+            for t in types:
+                acc = net.stats.latency[t]
+                if not acc.count:
+                    continue
+                counts[label] += acc.count
+                sums[f"{label}_queuing"] += acc.queuing * ns_per_cycle
+                sums[f"{label}_non_queuing"] += acc.non_queuing * ns_per_cycle
+    return LatencyNs(
+        request_queuing=(
+            sums["request_queuing"] / counts["request"] if counts["request"] else 0.0
+        ),
+        request_non_queuing=(
+            sums["request_non_queuing"] / counts["request"]
+            if counts["request"]
+            else 0.0
+        ),
+        reply_queuing=(
+            sums["reply_queuing"] / counts["reply"] if counts["reply"] else 0.0
+        ),
+        reply_non_queuing=(
+            sums["reply_non_queuing"] / counts["reply"] if counts["reply"] else 0.0
+        ),
+    )
+
+
+def _reply_bits_fraction(fabric: Fabric) -> float:
+    """Fraction of delivered NoC bits carried by reply packets."""
+    from ..noc.types import packet_flits
+
+    reply_bits = 0
+    total_bits = 0
+    rep_types = (PacketType.READ_REPLY, PacketType.WRITE_REPLY)
+    for net, _ratio, _role in fabric.networks:
+        for t in PacketType:
+            # bits_delivered is aggregated; reconstruct per type from
+            # counts and the network's flit width (packet size is fixed
+            # per (type, width)).
+            acc = net.stats.latency[t]
+            bits = acc.count * packet_flits(t, net.flit_bytes) * net.flit_bytes * 8
+            total_bits += bits
+            if t in rep_types:
+                reply_bits += bits
+    return reply_bits / total_bits if total_bits else 0.0
+
+
+def run_with_fabric(
+    fabric: Fabric,
+    benchmark_name: str,
+    config: Optional[ExperimentConfig] = None,
+    scheme_name: Optional[str] = None,
+) -> ExperimentResult:
+    """Run a pre-built fabric (used by ablations with custom designs)."""
+    config = config or ExperimentConfig()
+    profile = profiles.get(benchmark_name)
+    system = System(
+        fabric,
+        profile,
+        SystemConfig(
+            quota=config.quota,
+            mshrs=config.mshrs,
+            cb_capacity=config.cb_capacity,
+            seed=config.seed,
+            max_cycles=config.max_cycles,
+        ),
+    )
+    result = system.run()
+    energy = fabric_energy(fabric, result.cycles)
+    area = fabric_area(fabric)
+    return ExperimentResult(
+        scheme=scheme_name or fabric.config.name,
+        benchmark=benchmark_name,
+        width=config.width,
+        cycles=result.cycles,
+        instructions=result.instructions,
+        energy_nj=energy.total_nj,
+        area_mm2=area.total_mm2,
+        latency=_latency_ns(fabric),
+        reply_bits_fraction=_reply_bits_fraction(fabric),
+        pe_stall_cycles=result.pe_stall_cycles,
+        cb_stall_cycles=result.cb_stall_cycles,
+    )
+
+
+def run_experiment(
+    scheme_name: str,
+    benchmark_name: str,
+    config: Optional[ExperimentConfig] = None,
+) -> ExperimentResult:
+    """Execute one scheme x benchmark run and reduce it to plain metrics."""
+    config = config or ExperimentConfig()
+    fabric = build_fabric(scheme_name, config)
+    return run_with_fabric(fabric, benchmark_name, config, scheme_name)
+
+
+def run_suite(
+    schemes: List[str],
+    benchmarks: List[str],
+    config: Optional[ExperimentConfig] = None,
+    progress: bool = False,
+) -> Dict[Tuple[str, str], ExperimentResult]:
+    """Run a scheme x benchmark grid sequentially."""
+    config = config or ExperimentConfig()
+    results: Dict[Tuple[str, str], ExperimentResult] = {}
+    for scheme in schemes:
+        for benchmark in benchmarks:
+            if progress:
+                print(f"[harness] {scheme} x {benchmark} ...", flush=True)
+            results[(scheme, benchmark)] = run_experiment(
+                scheme, benchmark, config
+            )
+    return results

@@ -1,0 +1,12 @@
+"""Memory substrate: HBM stack timing and FR-FCFS controllers."""
+
+from .controller import MC_PIPELINE_CYCLES, MemoryController
+from .hbm import HbmStack, HbmTiming, MemoryAccess
+
+__all__ = [
+    "MC_PIPELINE_CYCLES",
+    "MemoryController",
+    "HbmStack",
+    "HbmTiming",
+    "MemoryAccess",
+]

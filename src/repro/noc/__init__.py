@@ -1,0 +1,46 @@
+"""Cycle-based flit-level NoC simulator (the BookSim-equivalent substrate)."""
+
+from .interface import (
+    EquiNoxInterface,
+    InjectionBuffer,
+    MultiPortInterface,
+    NetworkInterface,
+)
+from .network import Network
+from .router import Router
+from .stats import NetworkStats
+from .topology import CmeshEnvelope, CmeshMap, build_cmesh, build_mesh
+from .tracer import HopEvent, PacketTracer
+from .validation import assert_healthy, check_invariants
+from .types import (
+    CACHE_LINE_BYTES,
+    Flit,
+    Packet,
+    PacketType,
+    packet_bytes,
+    packet_flits,
+)
+
+__all__ = [
+    "EquiNoxInterface",
+    "InjectionBuffer",
+    "MultiPortInterface",
+    "NetworkInterface",
+    "Network",
+    "Router",
+    "NetworkStats",
+    "CmeshEnvelope",
+    "CmeshMap",
+    "build_cmesh",
+    "build_mesh",
+    "CACHE_LINE_BYTES",
+    "Flit",
+    "Packet",
+    "PacketType",
+    "packet_bytes",
+    "packet_flits",
+    "HopEvent",
+    "PacketTracer",
+    "assert_healthy",
+    "check_invariants",
+]

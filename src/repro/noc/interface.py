@@ -1,0 +1,304 @@
+"""Network interfaces: the injection side of every scheme.
+
+Three NI flavours cover all seven compared schemes:
+
+* :class:`NetworkInterface` — one injection buffer wired to the local
+  router (SingleBase, VC-Mono, SeparateBase, DA2Mesh subnets, and the
+  per-tile concentration ports of Interposer-CMesh).
+* :class:`MultiPortInterface` — several buffers, all wired to injection
+  ports on the *same* local router (the MultiPort scheme).
+* :class:`EquiNoxInterface` — the paper's modified CB NI (Figure 8):
+  five single-packet buffers, one to the local router and up to four to
+  EIRs over single-cycle interposer links, with the shortest-path-only
+  buffer-selection policy of "Buffer Selection 1".
+
+Every buffer drains one flit per cycle into its target router input
+port, subject to credit availability, exactly like a link.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.eir import EirDesign, shortest_path_eirs
+from .network import Network
+from .router import OutputPort
+from .types import Flit, Packet
+
+
+class InjectionBuffer:
+    """One packet-sized injection buffer wired to a router input port."""
+
+    __slots__ = ("network", "target_node", "target_port", "link", "flits",
+                 "cur_vc", "interposer", "length")
+
+    def __init__(
+        self,
+        network: Network,
+        target_node: int,
+        interposer: bool = False,
+        length: float = 0.0,
+    ) -> None:
+        self.network = network
+        self.target_node = target_node
+        self.target_port = network.add_injection_port(target_node)
+        self.link = OutputPort(
+            network.num_vcs, network.vc_capacity, latency=1, interposer=interposer
+        )
+        self.flits: Deque[Flit] = deque()
+        self.cur_vc: Optional[int] = None
+        self.interposer = interposer
+        self.length = length
+
+    @property
+    def free(self) -> bool:
+        return not self.flits
+
+    def load(self, packet: Packet, start_cycle: int = 0,
+             core_rate: float = 0.0) -> None:
+        """Accept a packet; flits become sendable as the core serialises.
+
+        ``core_rate`` is the NI core's serialisation rate in flits per
+        (this network's) cycle; flit ``k`` is sendable once the core has
+        produced it.  A zero rate means instantly available.
+        """
+        if self.flits:
+            raise RuntimeError("injection buffer already occupied")
+        flits = packet.make_flits()
+        if core_rate > 0:
+            for k, flit in enumerate(flits):
+                flit.ready_at = start_cycle + int((k + 1) / core_rate)
+        self.flits.extend(flits)
+
+    def try_send(self, cycle: int) -> None:
+        """Send up to one flit into the target router this cycle."""
+        if not self.flits:
+            return
+        flit = self.flits[0]
+        if flit.ready_at > cycle:
+            return  # the NI core has not serialised this flit yet
+        packet = flit.packet
+        if flit.is_head and self.cur_vc is None:
+            # An injection port only ever carries this node's class of
+            # traffic, so monopolising its VCs (VC-Mono) is always safe.
+            if self.network.monopolize_injection:
+                allowed = range(self.network.num_vcs)
+            else:
+                allowed = self.network.vc_classes[packet.vc_class]
+            free = self.link.free_vcs(allowed)
+            if not free:
+                return
+            self.cur_vc = max(free, key=lambda v: self.link.credits[v])
+            self.link.owner[self.cur_vc] = self
+        if self.cur_vc is None or self.link.credits[self.cur_vc] <= 0:
+            return
+        self.flits.popleft()
+        self.link.credits[self.cur_vc] -= 1
+        self.network.schedule_flit(
+            cycle + self.link.latency,
+            self.target_node,
+            self.target_port,
+            self.cur_vc,
+            flit,
+        )
+        stats = self.network.stats
+        stats.flits_injected += 1
+        if self.interposer:
+            stats.link_hops_interposer += 1
+            stats.interposer_hop_length += self.length
+        if flit.is_head:
+            packet.injected = cycle
+            packet.inject_router = self.target_node
+        if flit.is_tail:
+            self.link.owner[self.cur_vc] = None
+            self.cur_vc = None
+
+    def return_credit(self, vc: int) -> None:
+        self.link.credits[vc] += 1
+
+
+BASE_CORE_BYTES = 32
+"""Default NI-core serialisation bandwidth per base cycle.
+
+The paper's NI (Figure 8) serialises one packet at a time through the
+core logic before it reaches an injection buffer.  The L2/MC datapath
+behind a CB moves half a cache line per cycle (32 B), so a multi-buffer
+NI can keep two full-width links busy; a single-buffer NI remains
+drain-limited to one flit per cycle regardless.  DA2Mesh's CB NIs
+override this with the base link width (16 B): its eight subnets split
+one 128-bit interface, they do not widen it.
+"""
+
+
+class SerializationCore:
+    """The one-packet-at-a-time serialiser inside an NI (or a CB's NIs)."""
+
+    __slots__ = ("free_at",)
+
+    def __init__(self) -> None:
+        self.free_at = 0
+
+    def reserve(self, now: int, size: int, rate: float) -> int:
+        """Reserve the core for a packet; returns its start cycle."""
+        start = max(self.free_at, now)
+        self.free_at = start + max(1, math.ceil(size / rate))
+        return start
+
+
+class NetworkInterface:
+    """Base NI: unbounded source queue feeding one local buffer."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: int,
+        core: Optional[SerializationCore] = None,
+        core_bytes: int = BASE_CORE_BYTES,
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.source_queue: Deque[Packet] = deque()
+        self.buffers: List[InjectionBuffer] = [InjectionBuffer(network, node)]
+        self._init_core(core, core_bytes)
+        self._register()
+
+    def _init_core(self, core: Optional[SerializationCore],
+                   core_bytes: int = BASE_CORE_BYTES) -> None:
+        self.core = core or SerializationCore()
+        net = self.network
+        # Flits (of this network's width) the core produces per local
+        # cycle.  May be fractional: a 16 B/cycle core feeds a 32 B-flit
+        # overlay at half a flit per cycle.
+        self.core_rate = core_bytes / net.flit_bytes / net.clock_ratio
+
+    def _register(self) -> None:
+        self.network.register_ni(self)
+        for buf in self.buffers:
+            self.network.upstream[(buf.target_node, buf.target_port)] = buf.link
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> None:
+        """Accept a packet from the node's core logic."""
+        packet.created = self.network.cycle
+        self.source_queue.append(packet)
+
+    def tick(self, cycle: int) -> None:
+        self._assign(cycle)
+        for buf in self.buffers:
+            buf.try_send(cycle)
+
+    def _load(self, buf: InjectionBuffer, packet: Packet, cycle: int) -> None:
+        start = self.core.reserve(cycle, packet.size, self.core_rate)
+        buf.load(packet, start, self.core_rate)
+
+    def _assign(self, cycle: int) -> None:
+        for buf in self.buffers:
+            if not self.source_queue:
+                return
+            if buf.free:
+                self._load(buf, self.source_queue.popleft(), cycle)
+
+    def idle(self) -> bool:
+        return not self.source_queue and all(b.free for b in self.buffers)
+
+    def backlog(self) -> int:
+        """Packets waiting in the source queue (not yet in a buffer)."""
+        return len(self.source_queue)
+
+    def pressure(self) -> int:
+        """Backlog plus occupied buffers: how loaded this NI looks."""
+        return len(self.source_queue) + sum(
+            1 for b in self.buffers if not b.free
+        )
+
+
+class MultiPortInterface(NetworkInterface):
+    """NI with ``k`` buffers, each on its own port of the local router."""
+
+    def __init__(
+        self,
+        network: Network,
+        node: int,
+        num_ports: int = 4,
+        core: Optional[SerializationCore] = None,
+        core_bytes: int = BASE_CORE_BYTES,
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.source_queue = deque()
+        self.buffers = [InjectionBuffer(network, node) for _ in range(num_ports)]
+        self._init_core(core, core_bytes)
+        self._register()
+
+
+class EquiNoxInterface(NetworkInterface):
+    """The paper's five-buffer CB NI with shortest-path buffer selection.
+
+    Buffer 0 targets the local router; buffers 1..n target the CB's
+    EIRs over one-cycle interposer links.  A packet is steered to a
+    shortest-path EIR buffer (round-robin when two qualify), falling
+    back to the local buffer, else stalling — Buffer Selection 1.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        node: int,
+        design: EirDesign,
+        core: Optional[SerializationCore] = None,
+    ) -> None:
+        self.network = network
+        self.node = node
+        self.source_queue = deque()
+        grid = network.grid
+        group = design.group_by_cb[node]
+        self.buffers = [InjectionBuffer(network, node)]
+        self._eir_buffer: Dict[int, int] = {}  # eir node -> buffer index
+        for eir in group.nodes:
+            buf = InjectionBuffer(
+                network,
+                eir,
+                interposer=True,
+                length=float(grid.hops(node, eir)),
+            )
+            self._eir_buffer[eir] = len(self.buffers)
+            self.buffers.append(buf)
+        # Pad to the uniform five-buffer layout (idle ports, Figure 8).
+        self.num_idle_buffers = 5 - len(self.buffers)
+        self._init_core(core)
+        self._register()
+        # Precompute destination -> candidate EIR buffer indices.
+        self._choices: Dict[int, Tuple[int, ...]] = {}
+        for dst in grid.nodes():
+            if dst == node:
+                continue
+            eirs = shortest_path_eirs(grid, design, node, dst)
+            self._choices[dst] = tuple(self._eir_buffer[e] for e in eirs)
+        self._rr = 0
+
+    def _assign(self, cycle: int) -> None:
+        # Head-of-line policy: the NI core processes one packet at a
+        # time; if no eligible buffer is free the packet retries next
+        # cycle (it does not bypass to a later packet).
+        while self.source_queue:
+            packet = self.source_queue[0]
+            buf_idx = self._select_buffer(packet)
+            if buf_idx is None:
+                return
+            self.source_queue.popleft()
+            self._load(self.buffers[buf_idx], packet, cycle)
+
+    def _select_buffer(self, packet: Packet) -> Optional[int]:
+        """Buffer Selection 1 (paper): shortest-path EIRs, else local."""
+        candidates = self._choices.get(packet.dst, ())
+        free = [i for i in candidates if self.buffers[i].free]
+        if free:
+            if len(free) == 1:
+                return free[0]
+            self._rr = (self._rr + 1) % len(free)
+            return free[self._rr]
+        if self.buffers[0].free:
+            return 0
+        return None

@@ -1,0 +1,253 @@
+"""A physical network: routers, links, event scheduling and delivery.
+
+The network owns its clock (``cycle``), its routers, the in-flight flit
+and credit events, the network interfaces that inject traffic, and the
+per-node receive queues that ejected packets land in.  Multiple
+networks (request/reply, CMesh overlay, DA2Mesh subnets) coexist in one
+system and are ticked by the fabric at their own clock ratios.
+
+Event model: router arbitration is processed per-router within a cycle,
+but every effect (flit arrival downstream, credit return upstream) is
+scheduled at least one cycle in the future, so intra-cycle processing
+order cannot leak between routers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.grid import Grid
+from . import routing
+from .router import OutputPort, Router
+from .stats import NetworkStats
+from .types import Flit, Packet
+
+
+class Network:
+    """One physical NoC (mesh or concentrated mesh)."""
+
+    def __init__(
+        self,
+        name: str,
+        grid: Grid,
+        flit_bytes: int,
+        num_vcs: int = 2,
+        vc_capacity: int = 5,
+        routing_algorithm: str = "oddeven",
+        vc_classes: Optional[Sequence[Sequence[int]]] = None,
+        clock_ratio: float = 1.0,
+        eject_capacity: Optional[int] = None,
+        monopolize: bool = False,
+        monopolize_injection: bool = False,
+        interposer_mesh_links: bool = False,
+    ) -> None:
+        self.name = name
+        self.grid = grid
+        self.flit_bytes = flit_bytes
+        self.num_vcs = num_vcs
+        self.vc_capacity = vc_capacity
+        self.clock_ratio = clock_ratio
+        self.monopolize_injection = monopolize_injection
+        self.interposer_mesh_links = interposer_mesh_links
+        if vc_classes is None:
+            vc_classes = [tuple(range(num_vcs))]
+        self.vc_classes = [tuple(c) for c in vc_classes]
+        if eject_capacity is None:
+            # The receive buffer must hold at least one full packet or a
+            # long packet could never finish ejecting (credits only
+            # return when the whole packet is consumed).
+            eject_capacity = 2 * vc_capacity
+        self.eject_capacity = eject_capacity
+        self.cycle = 0
+        self.stats = NetworkStats(grid.size, flit_bytes)
+        self.routers: List[Router] = []
+        for node in grid.nodes():
+            self.routers.append(
+                Router(
+                    node=node,
+                    grid=grid,
+                    network=self,
+                    num_vcs=num_vcs,
+                    vc_capacity=vc_capacity,
+                    routing_algorithm=routing_algorithm,
+                    vc_classes=self.vc_classes,
+                    eject_capacity=eject_capacity,
+                    monopolize=monopolize,
+                )
+            )
+        self._wire_mesh()
+        # (node, in_port) -> upstream OutputPort, for credit return.
+        self.upstream: Dict[Tuple[int, int], OutputPort] = {}
+        for router in self.routers:
+            for port, (nbr, nbr_port) in router.neighbors.items():
+                self.upstream[(nbr, nbr_port)] = router.outputs[port]
+        self._arrivals: Dict[int, List[Tuple]] = {}
+        self._credits: Dict[int, List[Tuple[OutputPort, int]]] = {}
+        self.active: set = set()
+        self.nis: List["object"] = []  # NetworkInterface instances
+        # (node, eject_port) -> deque of (packet, eject OutputPort).
+        self.receive_queues: Dict[Tuple[int, int], Deque[Tuple[Packet, OutputPort]]] = {}
+        self._pop_rr: Dict[int, int] = {}  # per-node eject-port rotation
+        self.last_progress = 0  # cycle of the most recent committed move
+
+    def _wire_mesh(self) -> None:
+        for node in self.grid.nodes():
+            x, y = self.grid.coord(node)
+            for port in range(routing.NUM_MESH_PORTS):
+                dx, dy = routing.port_delta(port)
+                if self.grid.contains(x + dx, y + dy):
+                    nbr = self.grid.node(x + dx, y + dy)
+                    self.routers[node].connect(port, nbr, routing.opposite(port))
+
+    # ------------------------------------------------------------------
+    # Configuration helpers
+    # ------------------------------------------------------------------
+    def add_injection_port(self, node: int) -> int:
+        """Add an NI-facing input port to ``node``'s router."""
+        return self.routers[node].add_input_port()
+
+    def add_eject_port(self, node: int, capacity: Optional[int] = None) -> int:
+        """Add an extra ejection port (MultiPort / concentration)."""
+        router = self.routers[node]
+        port = 1 + max(max(router.inputs), max(router.outputs))
+        router.outputs[port] = OutputPort(1, capacity or self.vc_capacity * 2)
+        router.eject_ports.append(port)
+        return port
+
+    def register_ni(self, ni: "object") -> None:
+        self.nis.append(ni)
+
+    # ------------------------------------------------------------------
+    # Event scheduling (used by routers and NIs)
+    # ------------------------------------------------------------------
+    def schedule_flit(
+        self, cycle: int, node: int, port: int, vc: int, flit: Flit
+    ) -> None:
+        self._arrivals.setdefault(cycle, []).append((node, port, vc, flit))
+
+    def schedule_credit(self, cycle: int, port: OutputPort, vc: int) -> None:
+        self._credits.setdefault(cycle, []).append((port, vc))
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def pop_delivered(self, node: int, port: Optional[int] = None) -> Optional[Packet]:
+        """Consume one delivered packet at ``node`` (frees its buffer credits).
+
+        With ``port`` given, only that ejection port's queue is drained
+        (concentrated meshes dedicate a port per attached tile);
+        otherwise the node's ejection ports are scanned round-robin.
+        """
+        if port is not None:
+            ports = [port]
+        else:
+            ports = self.routers[node].eject_ports
+            if len(ports) > 1:
+                start = self._pop_rr.get(node, 0)
+                ports = ports[start:] + ports[:start]
+                self._pop_rr[node] = (start + 1) % len(ports)
+        for p in ports:
+            queue = self.receive_queues.get((node, p))
+            if queue:
+                packet, eject_port = queue.popleft()
+                eject_port.credits[0] += packet.size
+                return packet
+        return None
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance the network by one of its own clock cycles."""
+        self.cycle += 1
+        cycle = self.cycle
+        self.stats.cycles += 1
+
+        for port, vc in self._credits.pop(cycle, ()):  # credit returns
+            port.credits[vc] += 1
+
+        for node, port, vc, flit in self._arrivals.pop(cycle, ()):
+            if port < 0:  # ejection sink arrival; -port-1 is the eject port
+                self._deliver(node, -port - 1, flit, cycle)
+            else:
+                self.routers[node].accept(port, vc, flit, cycle)
+                self.stats.buffer_writes += 1
+                self.active.add(node)
+
+        for ni in self.nis:
+            ni.tick(cycle)
+
+        finished: List[int] = []
+        for node in self.active:
+            router = self.routers[node]
+            moves = router.tick(cycle)
+            for in_port, in_vc, out_port, out_vc, flit in moves:
+                self._commit(router, in_port, in_vc, out_port, out_vc, flit, cycle)
+            if router.flit_count == 0:
+                finished.append(node)
+        for node in finished:
+            self.active.discard(node)
+
+    def _commit(
+        self,
+        router: Router,
+        in_port: int,
+        in_vc: int,
+        out_port: int,
+        out_vc: int,
+        flit: Flit,
+        cycle: int,
+    ) -> None:
+        # A traversal occupies the router for at least one cycle; waits
+        # in the input buffer add on top (the Figure-4 heat metric).
+        self.stats.record_move(router.node, cycle - flit.buffered_at + 1)
+        up = self.upstream.get((router.node, in_port))
+        if up is not None:
+            self.schedule_credit(cycle + 1, up, in_vc)
+        if out_port in router.neighbors:
+            nbr, nbr_port = router.neighbors[out_port]
+            self.schedule_flit(cycle + 1, nbr, nbr_port, out_vc, flit)
+            if self.interposer_mesh_links:
+                self.stats.link_hops_interposer += 1
+                self.stats.interposer_hop_length += 1.0
+            else:
+                self.stats.link_hops_onchip += 1
+        else:  # ejection
+            eject_port_obj = router.outputs[out_port]
+            self._arrivals.setdefault(cycle + 1, []).append(
+                (router.node, -out_port - 1, 0, flit)
+            )
+            flit.packet.eject_port = eject_port_obj
+            self.stats.flits_ejected += 1
+        self.last_progress = cycle
+
+    def _deliver(self, node: int, eject_port: int, flit: Flit, cycle: int) -> None:
+        if not flit.is_tail:
+            return
+        packet = flit.packet
+        packet.delivered = cycle
+        self.receive_queues.setdefault((node, eject_port), deque()).append(
+            (packet, packet.eject_port)
+        )
+        inject = packet.inject_router if packet.inject_router is not None else packet.src
+        hops = self.grid.hops(inject, node)
+        # Zero-load pipeline: 1 cycle NI link + 1 cycle per hop + 1 cycle
+        # eject arbitration + 1 cycle to the sink + (size-1) serialisation.
+        non_queuing = hops + packet.size + 2
+        self.stats.record_delivery(packet, non_queuing)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Flits buffered in routers plus scheduled arrivals."""
+        buffered = sum(r.flit_count for r in self.routers)
+        scheduled = sum(len(v) for v in self._arrivals.values())
+        return buffered + scheduled
+
+    def idle(self) -> bool:
+        """No flits anywhere and no NI has pending work."""
+        if self.in_flight():
+            return False
+        return all(ni.idle() for ni in self.nis)

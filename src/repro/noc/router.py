@@ -1,0 +1,349 @@
+"""A virtual-channel wormhole router with credit-based flow control.
+
+The router follows BookSim's architecture at a one-cycle granularity:
+route computation, VC allocation and separable input-first switch
+allocation all happen in the cycle a flit sits at the head of its input
+VC, and a winning flit traverses the crossbar onto the output link in
+the same cycle (an aggressive single-stage pipeline; per-hop latency is
+router + link = 2 cycles at zero load).
+
+Port index space (per router):
+
+* ``0..3`` — mesh ports E/W/S/N (input and output),
+* ``4..4+e-1`` — ejection ports (output only; ``e`` > 1 for MultiPort),
+* remaining — injection and interposer ports (input only), fed by
+  network interfaces over :class:`UpstreamLink`-style credit links.
+
+Virtual channels hold one packet each (Table 1): a VC's buffer capacity
+equals the maximum packet size and output VC allocation is released
+when the tail flit departs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.grid import Grid
+from . import routing
+from .types import Flit
+
+
+class InputVC:
+    """One virtual-channel FIFO at a router input port."""
+
+    __slots__ = ("queue", "out_port", "out_vc")
+
+    def __init__(self) -> None:
+        self.queue: Deque[Flit] = deque()
+        self.out_port: Optional[int] = None
+        self.out_vc: Optional[int] = None
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.queue)
+
+
+class OutputPort:
+    """Credit and allocation state for one output (or NI-to-router) link.
+
+    ``credits[v]`` counts free flit slots in the downstream input VC
+    ``v``; ``owner[v]`` is the upstream agent (input ``(port, vc)`` pair
+    or an NI buffer id) holding the VC for the packet in flight.
+    """
+
+    __slots__ = ("num_vcs", "credits", "owner", "latency", "rr", "interposer",
+                 "capacity")
+
+    def __init__(
+        self, num_vcs: int, capacity: int, latency: int = 1,
+        interposer: bool = False,
+    ) -> None:
+        self.num_vcs = num_vcs
+        self.capacity = capacity
+        self.credits: List[int] = [capacity] * num_vcs
+        self.owner: List[Optional[object]] = [None] * num_vcs
+        self.latency = latency
+        self.rr = 0  # output-side round-robin pointer
+        self.interposer = interposer
+
+    def free_vcs(self, allowed: Sequence[int]) -> List[int]:
+        """VCs in ``allowed`` that are unowned and have buffer space."""
+        return [v for v in allowed if self.owner[v] is None and self.credits[v] > 0]
+
+    def total_credits(self, allowed: Sequence[int]) -> int:
+        return sum(self.credits[v] for v in allowed)
+
+
+class Router:
+    """One mesh router; owned and ticked by a :class:`~repro.noc.network.Network`."""
+
+    __slots__ = (
+        "node",
+        "network",
+        "grid",
+        "num_vcs",
+        "inputs",
+        "outputs",
+        "neighbors",
+        "eject_ports",
+        "input_ports",
+        "rr_in",
+        "flit_count",
+        "routing_algorithm",
+        "vc_classes",
+        "monopolize",
+        "monopoly_classes",
+        "eject_filter",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        grid: Grid,
+        network: "object",
+        num_vcs: int,
+        vc_capacity: int,
+        routing_algorithm: str,
+        vc_classes: Sequence[Sequence[int]],
+        num_eject_ports: int = 1,
+        eject_capacity: int = 16,
+        monopolize: bool = False,
+        monopoly_classes: Sequence[int] = (1,),
+    ) -> None:
+        self.node = node
+        self.grid = grid
+        self.network = network
+        self.num_vcs = num_vcs
+        self.routing_algorithm = routing_algorithm
+        # vc_classes[c] = VCs that packets of class c may use.
+        self.vc_classes = [tuple(vcs) for vcs in vc_classes]
+        self.monopolize = monopolize
+        self.monopoly_classes = tuple(monopoly_classes)
+
+        self.neighbors: Dict[int, Tuple[int, int]] = {}  # port -> (node, in_port)
+        self.inputs: Dict[int, List[InputVC]] = {
+            p: [InputVC() for _ in range(num_vcs)]
+            for p in range(routing.NUM_MESH_PORTS)
+        }
+        self.outputs: Dict[int, OutputPort] = {}
+        for p in range(routing.NUM_MESH_PORTS):
+            self.outputs[p] = OutputPort(num_vcs, vc_capacity)
+        self.eject_ports: List[int] = []
+        next_port = routing.NUM_MESH_PORTS
+        for _ in range(num_eject_ports):
+            # Ejection modelled as a single-VC link into the node's
+            # receive queue; one packet drains at a time per port.
+            self.outputs[next_port] = OutputPort(1, eject_capacity)
+            self.eject_ports.append(next_port)
+            next_port += 1
+        self.input_ports: List[int] = list(range(routing.NUM_MESH_PORTS))
+        self.rr_in: Dict[int, int] = {p: 0 for p in self.input_ports}
+        self.flit_count = 0
+        # Optional hook restricting which eject ports a packet may use
+        # (concentrated meshes dedicate one port per attached tile).
+        self.eject_filter = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers (called by the network builder)
+    # ------------------------------------------------------------------
+    def connect(self, port: int, neighbor: int, neighbor_port: int) -> None:
+        """Wire mesh ``port`` to ``neighbor``'s input ``neighbor_port``."""
+        self.neighbors[port] = (neighbor, neighbor_port)
+
+    def add_input_port(self) -> int:
+        """Add an input-only port (injection or interposer); returns index."""
+        port = 1 + max(max(self.inputs), max(self.outputs))
+        self.inputs[port] = [InputVC() for _ in range(self.num_vcs)]
+        self.input_ports.append(port)
+        self.rr_in[port] = 0
+        return port
+
+    def disconnected_mesh_ports(self) -> List[int]:
+        """Mesh ports with no neighbour (boundary routers)."""
+        return [
+            p for p in range(routing.NUM_MESH_PORTS) if p not in self.neighbors
+        ]
+
+    # ------------------------------------------------------------------
+    # Flit intake (called by the network when a link delivers)
+    # ------------------------------------------------------------------
+    def accept(self, port: int, vc: int, flit: Flit, cycle: int) -> None:
+        flit.buffered_at = cycle
+        self.inputs[port][vc].queue.append(flit)
+        self.flit_count += 1
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> List[Tuple[int, int, int, int, Flit]]:
+        """Arbitrate and return winning moves.
+
+        Each move is ``(in_port, in_vc, out_port, out_vc, flit)``; the
+        network commits them (link scheduling, credits, statistics).
+        """
+        # --- Per-input-port arbitration (separable, input first) -----
+        requests: List[Tuple[int, int, int, int]] = []  # in_port, in_vc, out_port, out_vc
+        for port in self.input_ports:
+            vcs = self.inputs[port]
+            chosen: Optional[Tuple[int, int, int, int]] = None
+            start = self.rr_in[port]
+            for k in range(self.num_vcs):
+                vc = (start + k) % self.num_vcs
+                ivc = vcs[vc]
+                if not ivc.queue:
+                    continue
+                flit = ivc.queue[0]
+                if flit.is_head and ivc.out_port is None:
+                    self._route_and_allocate(port, vc, ivc, flit)
+                if ivc.out_port is None:
+                    continue
+                out = self.outputs[ivc.out_port]
+                assert ivc.out_vc is not None
+                if out.credits[ivc.out_vc] <= 0:
+                    continue
+                chosen = (port, vc, ivc.out_port, ivc.out_vc)
+                break
+            if chosen is not None:
+                requests.append(chosen)
+        if not requests:
+            return []
+
+        # --- Per-output-port arbitration ------------------------------
+        by_output: Dict[int, List[Tuple[int, int, int, int]]] = {}
+        for req in requests:
+            by_output.setdefault(req[2], []).append(req)
+        moves: List[Tuple[int, int, int, int, Flit]] = []
+        for out_port, reqs in by_output.items():
+            out = self.outputs[out_port]
+            if len(reqs) == 1:
+                winner = reqs[0]
+            else:
+                reqs.sort(key=lambda r: (r[0] - out.rr) % 16)
+                winner = reqs[0]
+            in_port, in_vc, _, out_vc = winner
+            ivc = self.inputs[in_port][in_vc]
+            flit = ivc.queue.popleft()
+            self.flit_count -= 1
+            out.credits[out_vc] -= 1
+            out.rr = (in_port + 1) % 16
+            self.rr_in[in_port] = (in_vc + 1) % self.num_vcs
+            if flit.is_tail:
+                out.owner[out_vc] = None
+                ivc.out_port = None
+                ivc.out_vc = None
+            moves.append((in_port, in_vc, out_port, out_vc, flit))
+        return moves
+
+    # ------------------------------------------------------------------
+    # Route computation + output VC allocation for a head flit
+    # ------------------------------------------------------------------
+    def _route_and_allocate(
+        self, port: int, vc: int, ivc: InputVC, flit: Flit
+    ) -> None:
+        packet = flit.packet
+        if packet.dst == self.node:
+            self._allocate_eject(port, vc, ivc)
+            return
+        src = packet.inject_router if packet.inject_router is not None else packet.src
+        candidates = routing.route_candidates(
+            self.grid, self.routing_algorithm, self.node, src, packet.dst
+        )
+        allowed = self.vc_classes[packet.vc_class]
+        borrowable = self._borrowable_vcs(packet.vc_class, vc)
+        best: Optional[Tuple[int, int, int]] = None  # credits, out_port, out_vc
+        for out_port in candidates:
+            if out_port == routing.PORT_EJECT:
+                continue  # handled above; cannot happen for dst != node
+            if out_port not in self.neighbors:
+                continue
+            out = self.outputs[out_port]
+            free = out.free_vcs(allowed)
+            if not free and borrowable:
+                # VC monopolisation: borrow a foreign VC, but only when
+                # its buffer is completely empty and the whole packet
+                # fits, so the borrower fully vacates its own-class
+                # resources (cut-through on the borrowed hop) and never
+                # parks behind foreign-class flits.
+                free = [
+                    v
+                    for v in out.free_vcs(borrowable)
+                    if out.credits[v] == out.capacity
+                    and out.capacity >= packet.size
+                ]
+            if not free:
+                continue
+            # Minimal adaptive: prefer the output with the most credits;
+            # within a port, the free VC with the most credits.
+            out_vc = max(free, key=lambda v: out.credits[v])
+            total = out.total_credits(allowed)
+            if best is None or total > best[0]:
+                best = (total, out_port, out_vc)
+        if best is None:
+            return
+        _, out_port, out_vc = best
+        out = self.outputs[out_port]
+        out.owner[out_vc] = (port, vc)
+        ivc.out_port = out_port
+        ivc.out_vc = out_vc
+        self.network.stats.vc_allocs += 1
+
+    def _allocate_eject(self, port: int, vc: int, ivc: InputVC) -> None:
+        packet = ivc.queue[0].packet
+        ports = (
+            self.eject_filter(packet) if self.eject_filter is not None
+            else self.eject_ports
+        )
+        for eject in ports:
+            out = self.outputs[eject]
+            if out.owner[0] is None and out.credits[0] > 0:
+                out.owner[0] = (port, vc)
+                ivc.out_port = eject
+                ivc.out_vc = 0
+                return
+
+    def _borrowable_vcs(self, vc_class: int, current_vc: int) -> Sequence[int]:
+        """Foreign VCs this packet may additionally allocate (VC-Mono).
+
+        VC monopolisation: when no flit of the other class is buffered
+        at this router, the present class may also use the other
+        class's VCs.  Three restrictions keep the protocol
+        deadlock-free:
+
+        * only ``monopoly_classes`` (replies, whose ejection is
+          unconditionally consumed at PEs) may borrow — a request
+          parked in a reply VC could block the very replies whose
+          draining the request's own progress depends on;
+        * a packet *currently* in a borrowed VC must return to its own
+          class downstream, so a borrowed reply waits only on
+          reply-class resources, which always drain; and
+        * (checked by the caller) the packet must fit entirely in the
+          borrowed VC's free space, so the borrower never stalls
+          mid-transfer while holding own-class buffers upstream.
+        """
+        if not self.monopolize or vc_class not in self.monopoly_classes:
+            return ()
+        own = self.vc_classes[vc_class]
+        if current_vc not in own:
+            return ()  # already borrowing: own class only downstream
+        foreign = []
+        for other in range(len(self.vc_classes)):
+            if other == vc_class:
+                continue
+            for ovc in self.vc_classes[other]:
+                for p in self.input_ports:
+                    q = self.inputs[p][ovc].queue
+                    if q and q[0].packet.vc_class == other:
+                        return ()
+                foreign.append(ovc)
+        return tuple(foreign)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def buffered_flits(self) -> int:
+        return self.flit_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        x, y = self.grid.coord(self.node)
+        return f"Router({x},{y})"

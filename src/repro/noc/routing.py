@@ -1,0 +1,106 @@
+"""Routing functions: XY dimension-order and odd-even minimal adaptive.
+
+Output ports use the direction constants below; routing functions return
+the set of *productive, turn-legal* output ports for a packet at some
+router, and the router picks among them by downstream credit count
+(minimal adaptive) or takes the single option (deterministic XY).
+
+The odd-even turn model (Chiu, 2000) restricts where turns may happen
+based on column parity, which keeps the channel dependency graph acyclic
+without consuming virtual channels — that is what lets the single
+network dedicate its two VCs to the request/reply protocol classes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.grid import Grid
+
+PORT_E = 0  # +x
+PORT_W = 1  # -x
+PORT_S = 2  # +y
+PORT_N = 3  # -y
+NUM_MESH_PORTS = 4
+PORT_EJECT = 4
+"""Ejection is always port 4; injection ports are appended after it."""
+
+PORT_NAMES = {PORT_E: "E", PORT_W: "W", PORT_S: "S", PORT_N: "N",
+              PORT_EJECT: "EJ"}
+
+_OPPOSITE = {PORT_E: PORT_W, PORT_W: PORT_E, PORT_S: PORT_N, PORT_N: PORT_S}
+
+
+def opposite(port: int) -> int:
+    """The port on the far side of a link (E<->W, N<->S)."""
+    return _OPPOSITE[port]
+
+
+def port_delta(port: int) -> tuple:
+    """The coordinate delta a mesh port moves a flit by."""
+    return {
+        PORT_E: (1, 0),
+        PORT_W: (-1, 0),
+        PORT_S: (0, 1),
+        PORT_N: (0, -1),
+    }[port]
+
+
+def xy_route(grid: Grid, cur: int, dst: int) -> List[int]:
+    """Deterministic XY: exhaust the x dimension, then y."""
+    cx, cy = grid.coord(cur)
+    dx, dy = grid.coord(dst)
+    if cx < dx:
+        return [PORT_E]
+    if cx > dx:
+        return [PORT_W]
+    if cy < dy:
+        return [PORT_S]
+    if cy > dy:
+        return [PORT_N]
+    return [PORT_EJECT]
+
+
+def odd_even_routes(grid: Grid, cur: int, src: int, dst: int) -> List[int]:
+    """Minimal adaptive routes legal under the odd-even turn model.
+
+    Implements the ROUTE function of Chiu's odd-even paper: East-to-
+    North/South turns are forbidden in even columns and North/South-to-
+    West turns in odd columns, and the returned set is never empty for
+    a minimal route.  ``src`` is the router where the packet entered
+    the network (the local router or an EIR).
+    """
+    cx, cy = grid.coord(cur)
+    sx, _sy = grid.coord(src)
+    dx, dy = grid.coord(dst)
+    ex, ey = dx - cx, dy - cy
+    if ex == 0 and ey == 0:
+        return [PORT_EJECT]
+    vertical = PORT_S if ey > 0 else PORT_N
+    avail: List[int] = []
+    if ex == 0:
+        avail.append(vertical)
+    elif ex > 0:  # eastbound
+        if ey == 0:
+            avail.append(PORT_E)
+        else:
+            if cx % 2 == 1 or cx == sx:
+                avail.append(vertical)
+            if dx % 2 == 1 or ex != 1:
+                avail.append(PORT_E)
+    else:  # westbound
+        avail.append(PORT_W)
+        if cx % 2 == 0 and ey != 0:
+            avail.append(vertical)
+    return avail
+
+
+def route_candidates(
+    grid: Grid, algorithm: str, cur: int, src: int, dst: int
+) -> List[int]:
+    """Dispatch to the configured routing algorithm."""
+    if algorithm == "xy":
+        return xy_route(grid, cur, dst)
+    if algorithm == "oddeven":
+        return odd_even_routes(grid, cur, src, dst)
+    raise ValueError(f"unknown routing algorithm {algorithm!r}")

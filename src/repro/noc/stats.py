@@ -1,0 +1,145 @@
+"""Statistics collected by a network: events, latency, heat maps.
+
+Energy modelling consumes the raw event counters; Figure 4 consumes the
+per-router residence numbers; Figure 10 consumes the per-type latency
+decomposition (queuing vs non-queuing, where non-queuing is the
+zero-load latency of the packet's path and queuing is everything above
+it, including time spent waiting in the NI source queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .types import Packet, PacketType
+
+
+@dataclass
+class LatencyAccumulator:
+    """Running latency sums for one packet type."""
+
+    count: int = 0
+    total: int = 0
+    queuing: int = 0
+    non_queuing: int = 0
+
+    def add(self, total: int, non_queuing: int) -> None:
+        self.count += 1
+        self.total += total
+        self.non_queuing += min(non_queuing, total)
+        self.queuing += max(total - non_queuing, 0)
+
+    @property
+    def mean_total(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def mean_queuing(self) -> float:
+        return self.queuing / self.count if self.count else 0.0
+
+    @property
+    def mean_non_queuing(self) -> float:
+        return self.non_queuing / self.count if self.count else 0.0
+
+
+class NetworkStats:
+    """Event counters and latency records for one physical network."""
+
+    def __init__(self, num_nodes: int, flit_bytes: int) -> None:
+        self.num_nodes = num_nodes
+        self.flit_bytes = flit_bytes
+        # Energy-relevant event counters.
+        self.buffer_writes = 0
+        self.buffer_reads = 0
+        self.xbar_traversals = 0
+        self.vc_allocs = 0
+        self.link_hops_onchip = 0
+        self.link_hops_interposer = 0
+        self.interposer_hop_length = 0.0  # sum of traversed lengths (tile units)
+        self.flits_injected = 0
+        self.flits_ejected = 0
+        self.packets_delivered = 0
+        self.bits_delivered = 0
+        # Heat map: per-router flit residence.
+        self.residence_cycles = np.zeros(num_nodes, dtype=np.int64)
+        self.residence_count = np.zeros(num_nodes, dtype=np.int64)
+        # Latency per packet type.
+        self.latency: Dict[PacketType, LatencyAccumulator] = {
+            t: LatencyAccumulator() for t in PacketType
+        }
+        self.cycles = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_move(self, node: int, residence: int) -> None:
+        self.buffer_reads += 1
+        self.xbar_traversals += 1
+        self.residence_cycles[node] += residence
+        self.residence_count[node] += 1
+
+    def record_delivery(self, packet: Packet, non_queuing: int) -> None:
+        self.packets_delivered += 1
+        self.bits_delivered += packet.size * self.flit_bytes * 8
+        self.latency[packet.ptype].add(packet.latency, non_queuing)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def heatmap(self) -> np.ndarray:
+        """Average flit residence cycles per router (Figure 4)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            mean = np.where(
+                self.residence_count > 0,
+                self.residence_cycles / np.maximum(self.residence_count, 1),
+                0.0,
+            )
+        return mean
+
+    def heatmap_variance(self) -> float:
+        """Variance of the per-router residence averages (Figure 4)."""
+        return float(np.var(self.heatmap()))
+
+    def mean_latency(self, types: Optional[List[PacketType]] = None) -> float:
+        types = list(PacketType) if types is None else types
+        count = sum(self.latency[t].count for t in types)
+        total = sum(self.latency[t].total for t in types)
+        return total / count if count else 0.0
+
+    def latency_breakdown(self) -> Dict[str, float]:
+        """Mean queuing / non-queuing latency for requests and replies."""
+        req = [PacketType.READ_REQUEST, PacketType.WRITE_REQUEST]
+        rep = [PacketType.READ_REPLY, PacketType.WRITE_REPLY]
+        out: Dict[str, float] = {}
+        for label, group in (("request", req), ("reply", rep)):
+            count = sum(self.latency[t].count for t in group)
+            queuing = sum(self.latency[t].queuing for t in group)
+            nonq = sum(self.latency[t].non_queuing for t in group)
+            out[f"{label}_queuing"] = queuing / count if count else 0.0
+            out[f"{label}_non_queuing"] = nonq / count if count else 0.0
+        return out
+
+    def merge(self, other: "NetworkStats") -> None:
+        """Fold another network's counters into this one (DA2Mesh subnets)."""
+        self.buffer_writes += other.buffer_writes
+        self.buffer_reads += other.buffer_reads
+        self.xbar_traversals += other.xbar_traversals
+        self.vc_allocs += other.vc_allocs
+        self.link_hops_onchip += other.link_hops_onchip
+        self.link_hops_interposer += other.link_hops_interposer
+        self.interposer_hop_length += other.interposer_hop_length
+        self.flits_injected += other.flits_injected
+        self.flits_ejected += other.flits_ejected
+        self.packets_delivered += other.packets_delivered
+        self.bits_delivered += other.bits_delivered
+        self.residence_cycles += other.residence_cycles
+        self.residence_count += other.residence_count
+        for t in PacketType:
+            acc, oacc = self.latency[t], other.latency[t]
+            acc.count += oacc.count
+            acc.total += oacc.total
+            acc.queuing += oacc.queuing
+            acc.non_queuing += oacc.non_queuing

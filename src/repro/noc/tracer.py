@@ -1,0 +1,133 @@
+"""Optional per-packet event tracing.
+
+Attach a :class:`PacketTracer` to a network to record every hop of
+selected packets — the tool you reach for when a latency number looks
+wrong and you need to see *where* a packet waited.  Tracing is opt-in
+and filtered, so the simulator's hot path pays one attribute check when
+disabled.
+
+Usage::
+
+    tracer = PacketTracer(net, watch=lambda p: p.pid == 42)
+    ... run ...
+    print(tracer.format_trace(42))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .network import Network
+from .types import Flit, Packet
+
+
+@dataclass(frozen=True)
+class HopEvent:
+    """One traced event in a packet's life."""
+
+    cycle: int
+    node: int
+    kind: str  # "inject" | "hop" | "eject" | "deliver"
+    flit_idx: int
+    detail: str = ""
+
+
+class PacketTracer:
+    """Records hop events for packets selected by ``watch``.
+
+    The tracer monkey-wraps the network's ``_commit`` and ``_deliver``
+    internals — acceptable coupling for a debugging tool that lives
+    next to the network implementation.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        watch: Optional[Callable[[Packet], bool]] = None,
+        max_packets: int = 1000,
+    ) -> None:
+        self.network = network
+        self.watch = watch or (lambda p: True)
+        self.max_packets = max_packets
+        self.events: Dict[int, List[HopEvent]] = {}
+        self._wrap()
+
+    # ------------------------------------------------------------------
+    def _record(self, packet: Packet, event: HopEvent) -> None:
+        if packet.pid not in self.events:
+            if len(self.events) >= self.max_packets:
+                return
+            if not self.watch(packet):
+                return
+            self.events[packet.pid] = []
+        self.events[packet.pid].append(event)
+
+    def _wrap(self) -> None:
+        net = self.network
+        original_commit = net._commit
+        original_deliver = net._deliver
+
+        def commit(router, in_port, in_vc, out_port, out_vc, flit, cycle):
+            kind = "eject" if out_port in router.eject_ports else "hop"
+            self._record(
+                flit.packet,
+                HopEvent(
+                    cycle=cycle,
+                    node=router.node,
+                    kind=kind,
+                    flit_idx=flit.idx,
+                    detail=f"p{in_port}v{in_vc}->p{out_port}v{out_vc}",
+                ),
+            )
+            return original_commit(router, in_port, in_vc, out_port,
+                                   out_vc, flit, cycle)
+
+        def deliver(node, eject_port, flit, cycle):
+            if flit.is_tail:
+                self._record(
+                    flit.packet,
+                    HopEvent(cycle=cycle, node=node, kind="deliver",
+                             flit_idx=flit.idx),
+                )
+            return original_deliver(node, eject_port, flit, cycle)
+
+        net._commit = commit
+        net._deliver = deliver
+
+    # ------------------------------------------------------------------
+    def trace(self, pid: int) -> List[HopEvent]:
+        """All recorded events of one packet, in order."""
+        return list(self.events.get(pid, ()))
+
+    def path(self, pid: int) -> List[int]:
+        """The router sequence the packet's head flit visited."""
+        return [
+            e.node for e in self.trace(pid)
+            if e.flit_idx == 0 and e.kind in ("hop", "eject")
+        ]
+
+    def wait_cycles(self, pid: int) -> int:
+        """Cycles between the head flit's first and last recorded move,
+        minus the minimal hop count — time lost to contention."""
+        head = [e for e in self.trace(pid) if e.flit_idx == 0
+                and e.kind in ("hop", "eject")]
+        if len(head) < 2:
+            return 0
+        elapsed = head[-1].cycle - head[0].cycle
+        return max(0, elapsed - (len(head) - 1))
+
+    def format_trace(self, pid: int) -> str:
+        """Human-readable event log for one packet."""
+        events = self.trace(pid)
+        if not events:
+            return f"packet {pid}: no recorded events"
+        grid = self.network.grid
+        lines = [f"packet {pid}:"]
+        for e in events:
+            x, y = grid.coord(e.node)
+            lines.append(
+                f"  cycle {e.cycle:>6}  ({x},{y})  {e.kind:<7} "
+                f"flit {e.flit_idx}  {e.detail}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Packets, flits and message classes for the NoC simulator.
+
+The simulator is flit-level: a packet of ``size`` flits is serialised
+into head/body/tail flits that travel independently but in order, with
+wormhole flow control across virtual channels.
+
+Packet sizes follow the GPU convention the paper uses: control packets
+(read requests, write acks) are a single flit; data packets (read
+replies, write requests) carry a cache line and occupy several flits
+depending on the network's flit width.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+
+class PacketType(enum.IntEnum):
+    """The four M2F2M message types."""
+
+    READ_REQUEST = 0
+    WRITE_REQUEST = 1
+    READ_REPLY = 2
+    WRITE_REPLY = 3
+
+    @property
+    def is_request(self) -> bool:
+        return self in (PacketType.READ_REQUEST, PacketType.WRITE_REQUEST)
+
+    @property
+    def is_reply(self) -> bool:
+        return not self.is_request
+
+    @property
+    def carries_data(self) -> bool:
+        """Whether the packet carries a cache line (long packet)."""
+        return self in (PacketType.WRITE_REQUEST, PacketType.READ_REPLY)
+
+
+CACHE_LINE_BYTES = 64
+CONTROL_BYTES = 8
+"""Header/address bytes for control packets and data-packet headers."""
+
+
+def packet_bytes(ptype: PacketType) -> int:
+    """Payload size in bytes (header + optional cache line)."""
+    if ptype.carries_data:
+        return CONTROL_BYTES + CACHE_LINE_BYTES
+    return CONTROL_BYTES
+
+
+def packet_flits(ptype: PacketType, flit_bytes: int) -> int:
+    """Number of flits a packet occupies on a network of given width."""
+    if flit_bytes <= 0:
+        raise ValueError("flit width must be positive")
+    return -(-packet_bytes(ptype) // flit_bytes)  # ceil division
+
+
+class Packet:
+    """One network packet, also carrying its latency bookkeeping."""
+
+    __slots__ = (
+        "pid",
+        "ptype",
+        "src",
+        "dst",
+        "size",
+        "created",
+        "injected",
+        "delivered",
+        "vc_class",
+        "token",
+        "inject_router",
+        "eject_port",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        ptype: PacketType,
+        src: int,
+        dst: int,
+        size: int,
+        created: int,
+        vc_class: int = 0,
+        token: Optional[object] = None,
+    ) -> None:
+        self.pid = pid
+        self.ptype = ptype
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.created = created
+        self.injected: Optional[int] = None
+        self.delivered: Optional[int] = None
+        self.vc_class = vc_class
+        self.token = token  # opaque ref used to match replies to requests
+        self.inject_router: Optional[int] = None
+        self.eject_port: Optional[object] = None  # OutputPort that drained us
+
+    def make_flits(self) -> List["Flit"]:
+        """Serialise into flits (head first, tail last)."""
+        return [
+            Flit(self, i, i == 0, i == self.size - 1) for i in range(self.size)
+        ]
+
+    @property
+    def latency(self) -> int:
+        """Total latency in cycles; packet must be delivered."""
+        if self.delivered is None:
+            raise ValueError(f"packet {self.pid} not delivered yet")
+        return self.delivered - self.created
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Packet({self.pid}, {self.ptype.name}, {self.src}->{self.dst}, "
+            f"{self.size}f)"
+        )
+
+
+class Flit:
+    """One flow-control unit of a packet."""
+
+    __slots__ = ("packet", "idx", "is_head", "is_tail", "buffered_at",
+                 "ready_at")
+
+    def __init__(self, packet: Packet, idx: int, is_head: bool, is_tail: bool):
+        self.packet = packet
+        self.idx = idx
+        self.is_head = is_head
+        self.is_tail = is_tail
+        self.buffered_at: int = 0  # cycle this flit entered its current buffer
+        self.ready_at: int = 0  # NI-core serialisation completion cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "H" if self.is_head else ("T" if self.is_tail else "B")
+        return f"Flit({self.packet.pid}.{self.idx}{kind})"

@@ -1,0 +1,84 @@
+"""Network invariant checking (debugging and test support).
+
+``check_invariants`` inspects a live network and returns human-readable
+descriptions of anything inconsistent: credit counts out of range,
+orphaned VC ownership, buffer overflows, or flits parked in VCs their
+class does not permit.  The simulator never calls this on the hot path;
+tests and bring-up scripts do.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .network import Network
+from .router import Router
+
+
+def check_invariants(net: Network, strict_classes: bool = True) -> List[str]:
+    """Return a list of invariant violations (empty = healthy)."""
+    problems: List[str] = []
+    for router in net.routers:
+        problems.extend(_check_router(net, router, strict_classes))
+    problems.extend(_check_credits(net))
+    return problems
+
+
+def _check_router(net: Network, router: Router,
+                  strict_classes: bool) -> List[str]:
+    problems = []
+    counted = 0
+    for port in router.input_ports:
+        for vc, ivc in enumerate(router.inputs[port]):
+            counted += len(ivc.queue)
+            if len(ivc.queue) > net.vc_capacity:
+                problems.append(
+                    f"router {router.node} in(p{port},v{vc}) holds "
+                    f"{len(ivc.queue)} flits > capacity {net.vc_capacity}"
+                )
+            # NOTE: an empty queue with a route assigned is legitimate —
+            # all buffered flits were forwarded while the packet's tail
+            # is still in flight on the upstream link.
+            if strict_classes and not router.monopolize:
+                for flit in ivc.queue:
+                    allowed = net.vc_classes[flit.packet.vc_class]
+                    if vc not in allowed:
+                        problems.append(
+                            f"router {router.node} in(p{port},v{vc}): flit "
+                            f"of class {flit.packet.vc_class} in foreign VC"
+                        )
+    if counted != router.flit_count:
+        problems.append(
+            f"router {router.node} flit_count {router.flit_count} != "
+            f"buffered {counted}"
+        )
+    return problems
+
+
+def _check_credits(net: Network) -> List[str]:
+    problems = []
+    for router in net.routers:
+        for port_idx, out in router.outputs.items():
+            for vc in range(out.num_vcs):
+                credits = out.credits[vc]
+                if credits < 0:
+                    problems.append(
+                        f"router {router.node} out(p{port_idx},v{vc}) "
+                        f"negative credits {credits}"
+                    )
+                if credits > out.capacity:
+                    problems.append(
+                        f"router {router.node} out(p{port_idx},v{vc}) "
+                        f"credits {credits} exceed capacity {out.capacity}"
+                    )
+    return problems
+
+
+def assert_healthy(net: Network, strict_classes: bool = True) -> None:
+    """Raise ``AssertionError`` listing all violations, if any."""
+    problems = check_invariants(net, strict_classes)
+    if problems:
+        raise AssertionError(
+            f"{len(problems)} network invariant violation(s):\n  "
+            + "\n  ".join(problems)
+        )

@@ -1,0 +1,85 @@
+"""Micro-bump (µbump) count and area accounting (paper section 6.6).
+
+Every interposer wire needs a µbump at each die attachment point.  With
+the paper's 40 µm-pitch µbumps, a 128-bit bi-directional link consumes
+about 0.34 mm^2 of die area.  The paper's headline comparison:
+
+* Interposer-CMesh: 128 uni-directional 256-bit links, one µbump per
+  wire per die crossing -> 32,768 µbumps.
+* EquiNox: 24 uni-directional 128-bit links, two µbumps per wire (down
+  to the interposer and back up) -> 6,144 µbumps (-81.25%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+UBUMP_PITCH_UM = 40.0
+"""µbump pitch (µm), per De Vos et al. [22]."""
+
+
+def ubump_area_mm2(num_bumps: int, pitch_um: float = UBUMP_PITCH_UM) -> float:
+    """Die area consumed by ``num_bumps`` µbumps at the given pitch."""
+    if num_bumps < 0:
+        raise ValueError("bump count must be non-negative")
+    return num_bumps * (pitch_um * 1e-3) ** 2
+
+
+@dataclass(frozen=True)
+class UbumpBudget:
+    """µbump accounting for one scheme's interposer links."""
+
+    scheme: str
+    num_links: int
+    bits_per_link: int
+    bumps_per_wire: int
+
+    @property
+    def num_bumps(self) -> int:
+        return self.num_links * self.bits_per_link * self.bumps_per_wire
+
+    @property
+    def area_mm2(self) -> float:
+        return ubump_area_mm2(self.num_bumps)
+
+
+def interposer_cmesh_budget(
+    num_links: int = 128, bits_per_link: int = 256
+) -> UbumpBudget:
+    """The paper's Interposer-CMesh configuration (32,768 µbumps)."""
+    return UbumpBudget(
+        scheme="interposer-cmesh",
+        num_links=num_links,
+        bits_per_link=bits_per_link,
+        bumps_per_wire=1,
+    )
+
+
+def equinox_budget(num_eirs: int = 24, bits_per_link: int = 128) -> UbumpBudget:
+    """EquiNox's budget: one uni-directional link per (CB, EIR) pair.
+
+    CB->EIR links carry injection traffic only, so each connection is a
+    single uni-directional 128-bit link (24 of them in the paper's 8x8
+    design, i.e. 3 EIRs per CB on average after boundary effects), and
+    every wire dives from the processor die into the interposer and
+    surfaces again, so it needs two µbumps.
+    """
+    return UbumpBudget(
+        scheme="equinox",
+        num_links=num_eirs,
+        bits_per_link=bits_per_link,
+        bumps_per_wire=2,
+    )
+
+
+def budget_for_design(design, bits_per_link: int = 128) -> UbumpBudget:
+    """µbump budget for a concrete :class:`~repro.core.eir.EirDesign`."""
+    return equinox_budget(
+        num_eirs=len(design.links()), bits_per_link=bits_per_link
+    )
+
+
+def link_ubump_area_mm2(bits: int = 128, bidirectional: bool = True) -> float:
+    """Area of the µbumps for one link (0.34 mm^2 for 128-bit bi-dir)."""
+    wires = bits * (2 if bidirectional else 1)
+    return ubump_area_mm2(wires)

@@ -1,0 +1,31 @@
+"""Energy and area models (the DSENT-equivalent substrate)."""
+
+from .area import (
+    AreaBreakdown,
+    AreaParams,
+    AreaReport,
+    fabric_area,
+    network_area,
+    router_area_mm2,
+)
+from .energy import (
+    EnergyBreakdown,
+    EnergyParams,
+    EnergyReport,
+    fabric_energy,
+    network_energy,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaParams",
+    "AreaReport",
+    "fabric_area",
+    "network_area",
+    "router_area_mm2",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "EnergyReport",
+    "fabric_energy",
+    "network_energy",
+]

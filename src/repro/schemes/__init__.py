@@ -1,0 +1,46 @@
+"""The seven compared schemes (paper section 5) and the fabric builder."""
+
+from typing import Callable, Dict, List
+
+from . import (
+    da2mesh,
+    equinox,
+    interposer_cmesh,
+    multiport,
+    separate_base,
+    single_base,
+    vc_mono,
+)
+from .base import BASE_FREQUENCY_GHZ, Fabric, SchemeConfig
+
+SCHEMES: Dict[str, Callable[[], SchemeConfig]] = {
+    "SingleBase": single_base.config,
+    "VC-Mono": vc_mono.config,
+    "Interposer-CMesh": interposer_cmesh.config,
+    "SeparateBase": separate_base.config,
+    "DA2Mesh": da2mesh.config,
+    "MultiPort": multiport.config,
+    "EquiNox": equinox.config,
+}
+"""Factory per scheme, keyed by the paper's names, in Figure-9 order."""
+
+SCHEME_ORDER: List[str] = list(SCHEMES)
+
+
+def get_config(name: str) -> SchemeConfig:
+    try:
+        return SCHEMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; known: {SCHEME_ORDER}"
+        ) from None
+
+
+__all__ = [
+    "BASE_FREQUENCY_GHZ",
+    "Fabric",
+    "SchemeConfig",
+    "SCHEMES",
+    "SCHEME_ORDER",
+    "get_config",
+]

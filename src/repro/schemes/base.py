@@ -1,0 +1,421 @@
+"""Scheme configuration and the fabric that realises it.
+
+A :class:`SchemeConfig` captures everything that distinguishes the seven
+compared designs (paper section 5): single vs separate physical
+networks, VC monopolisation, the interposer CMesh overlay, the DA2Mesh
+narrow reply subnets, MultiPort CB routers, and EquiNox's EIRs.
+
+A :class:`Fabric` instantiates the networks and NIs for one
+configuration and provides the transaction-level send/receive interface
+consumed by the GPU system model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.equinox import EquiNoxDesign
+from ..core.grid import Grid
+from ..noc.interface import (
+    EquiNoxInterface,
+    MultiPortInterface,
+    NetworkInterface,
+)
+from ..noc.network import Network
+from ..noc.topology import CmeshEnvelope, CmeshMap, build_cmesh
+from ..noc.types import Packet, PacketType, packet_flits
+
+BASE_FREQUENCY_GHZ = 1.126
+"""PE / NoC base clock (Table 1)."""
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Static description of one compared scheme."""
+
+    name: str
+    network_type: str  # "single" | "separate"
+    placement_name: str = "diamond"
+    flit_bytes: int = 16
+    num_vcs: int = 2
+    routing: str = "oddeven"
+    monopolize: bool = False
+    monopolize_injection: bool = False
+    cmesh: bool = False
+    cmesh_flit_bytes: int = 32
+    cmesh_threshold: int = 3
+    da2mesh: bool = False
+    da2mesh_subnets: int = 8
+    da2mesh_clock_ratio: float = 2.5
+    multiport: int = 1
+    equinox: bool = False
+
+    def __post_init__(self) -> None:
+        if self.network_type not in ("single", "separate"):
+            raise ValueError("network_type must be 'single' or 'separate'")
+        if self.equinox and self.network_type != "separate":
+            raise ValueError("EquiNox is a separate-network scheme")
+        if self.da2mesh and self.network_type != "separate":
+            raise ValueError("DA2Mesh splits the reply network of a "
+                             "separate-network design")
+
+
+class Fabric:
+    """All networks and NIs of one scheme instance on one grid."""
+
+    def __init__(
+        self,
+        config: SchemeConfig,
+        grid: Grid,
+        placement: Sequence[int],
+        equinox_design: Optional[EquiNoxDesign] = None,
+        max_packet_flits: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.grid = grid
+        self.placement = tuple(placement)
+        self.equinox_design = equinox_design
+        self.cb_set = frozenset(placement)
+        self.pes = tuple(n for n in grid.nodes() if n not in self.cb_set)
+        self._pid = 0
+        # networks: (network, clock_ratio, role) with role in
+        # {"request", "reply", "both", "cmesh"}.
+        self.networks: List[Tuple[Network, float, str]] = []
+        self._ratio_acc: List[float] = []
+
+        data_flits = packet_flits(PacketType.READ_REPLY, config.flit_bytes)
+        vc_cap = max_packet_flits or data_flits
+
+        if config.network_type == "single":
+            vc_classes = [(0,), (1,)]
+            net = Network(
+                "single",
+                grid,
+                config.flit_bytes,
+                num_vcs=config.num_vcs,
+                vc_capacity=vc_cap,
+                routing_algorithm=config.routing,
+                vc_classes=vc_classes,
+                monopolize=config.monopolize,
+                monopolize_injection=config.monopolize_injection,
+            )
+            self.request_net = net
+            self.reply_net = net
+            self._add_network(net, 1.0, "both")
+        else:
+            self.request_net = Network(
+                "request",
+                grid,
+                config.flit_bytes,
+                num_vcs=config.num_vcs,
+                vc_capacity=vc_cap,
+                routing_algorithm=config.routing,
+                vc_classes=[tuple(range(config.num_vcs))],
+            )
+            self._add_network(self.request_net, 1.0, "request")
+            if not config.da2mesh:
+                self.reply_net = Network(
+                    "reply",
+                    grid,
+                    config.flit_bytes,
+                    num_vcs=config.num_vcs,
+                    vc_capacity=vc_cap,
+                    routing_algorithm=config.routing,
+                    vc_classes=[tuple(range(config.num_vcs))],
+                )
+                self._add_network(self.reply_net, 1.0, "reply")
+            else:
+                self.reply_net = None
+
+        # --- DA2Mesh reply subnets --------------------------------------
+        self.reply_subnets: List[Network] = []
+        if config.da2mesh:
+            narrow_bytes = max(1, config.flit_bytes // config.da2mesh_subnets)
+            # Buffers keep the same *bit* budget as the wide network, so
+            # a narrow VC holds few narrow flits and a data packet spans
+            # many routers — the serialisation cost the paper describes.
+            narrow_cap = max(
+                2, vc_cap * narrow_bytes // config.flit_bytes + 1
+            )
+            narrow_eject = 2 * packet_flits(PacketType.READ_REPLY, narrow_bytes)
+            for i in range(config.da2mesh_subnets):
+                subnet = Network(
+                    f"reply-sub{i}",
+                    grid,
+                    narrow_bytes,
+                    num_vcs=config.num_vcs,
+                    vc_capacity=narrow_cap,
+                    routing_algorithm=config.routing,
+                    vc_classes=[tuple(range(config.num_vcs))],
+                    clock_ratio=config.da2mesh_clock_ratio,
+                    eject_capacity=narrow_eject,
+                )
+                self.reply_subnets.append(subnet)
+                self._add_network(subnet, config.da2mesh_clock_ratio, "reply")
+        self._da2_rr: Dict[int, int] = {cb: 0 for cb in placement}
+        self._da2_pop_rr: Dict[int, int] = {}
+
+        # --- Interposer CMesh overlay ------------------------------------
+        self.cmesh_net: Optional[Network] = None
+        self.cmap: Optional[CmeshMap] = None
+        if config.cmesh:
+            data_flits_cm = packet_flits(
+                PacketType.READ_REPLY, config.cmesh_flit_bytes
+            )
+            self.cmesh_net, self.cmap, self._cmesh_eject = build_cmesh(
+                grid,
+                config.cmesh_flit_bytes,
+                num_vcs=config.num_vcs,
+                vc_capacity=data_flits_cm,
+                routing_algorithm=config.routing,
+                vc_classes=[(0,), (1,)],
+            )
+            self._add_network(
+                self.cmesh_net, 1.0, "cmesh"
+            )
+            # A CB tile's mesh NI and CMesh NI share one serialisation
+            # core at the *base* width: the ported CPU overlay adds
+            # injection paths, it does not widen the GPU's L2 datapath
+            # (unlike MultiPort/EquiNox, which re-engineer the CB NI).
+            # PE tiles keep independent cores — their small requests
+            # never stress the NI datapath in any scheme.
+            from ..noc.interface import SerializationCore
+
+            self._cb_cores: Dict[int, SerializationCore] = {
+                cb: SerializationCore() for cb in placement
+            }
+            self.cmesh_nis: Dict[int, NetworkInterface] = {}
+            for tile in grid.nodes():
+                cnode = self.cmap.cmesh_node(tile)
+                if tile in self._cb_cores:
+                    self.cmesh_nis[tile] = NetworkInterface(
+                        self.cmesh_net, cnode, core=self._cb_cores[tile],
+                        core_bytes=config.flit_bytes,
+                    )
+                else:
+                    self.cmesh_nis[tile] = NetworkInterface(
+                        self.cmesh_net, cnode
+                    )
+
+        # --- NIs ----------------------------------------------------------
+        def _cb_core(cb: int):
+            if self.cmesh_net is None:
+                return None
+            return self._cb_cores[cb]
+
+        def _cb_core_bytes() -> int:
+            from ..noc.interface import BASE_CORE_BYTES
+
+            if self.cmesh_net is not None:
+                return config.flit_bytes
+            return BASE_CORE_BYTES
+
+        self.request_nis: Dict[int, NetworkInterface] = {
+            pe: NetworkInterface(self.request_net, pe) for pe in self.pes
+        }
+        self.reply_nis: Dict[int, object] = {}
+        for cb in placement:
+            if config.da2mesh:
+                # One NI per subnet, but a single serialisation core per
+                # CB: the MC-side NI logic is shared hardware.
+                from ..noc.interface import SerializationCore
+
+                shared_core = SerializationCore()
+                self.reply_nis[cb] = [
+                    NetworkInterface(
+                        subnet, cb, core=shared_core,
+                        core_bytes=config.flit_bytes,
+                    )
+                    for subnet in self.reply_subnets
+                ]
+            elif config.equinox:
+                assert equinox_design is not None
+                self.reply_nis[cb] = EquiNoxInterface(
+                    self.reply_net, cb, equinox_design.eir_design
+                )
+            elif config.multiport > 1:
+                self.reply_nis[cb] = MultiPortInterface(
+                    self.reply_net, cb, num_ports=config.multiport
+                )
+            else:
+                self.reply_nis[cb] = NetworkInterface(
+                    self.reply_net, cb, core=_cb_core(cb),
+                    core_bytes=_cb_core_bytes(),
+                )
+            if config.multiport > 1:
+                # MultiPort also widens request-network ejection at CBs.
+                for _ in range(config.multiport - 1):
+                    self.request_net.add_eject_port(cb)
+        self._pop_toggle: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _add_network(self, net: Network, ratio: float, role: str) -> None:
+        self.networks.append((net, ratio, role))
+        self._ratio_acc.append(0.0)
+
+    def _next_pid(self) -> int:
+        self._pid += 1
+        return self._pid
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def _use_cmesh(self, src: int, dst: int,
+                   mesh_ni: Optional[NetworkInterface] = None) -> bool:
+        """Whether a packet should take the interposer overlay.
+
+        Distance-eligible traffic (>= threshold mesh hops) prefers the
+        CMesh, but falls back to the base mesh when the overlay-side NI
+        is more backed up — the load-balanced injection policy of
+        interposer-overlay designs.
+        """
+        if (
+            self.cmesh_net is None
+            or self.grid.hops(src, dst) < self.config.cmesh_threshold
+        ):
+            return False
+        if mesh_ni is None:
+            return True
+        # Headroom rule: take the overlay while its NI has at most one
+        # packet waiting; once the overlay backs up, spill to the mesh.
+        return self.cmesh_nis[src].pressure() <= 2
+
+    def send_request(self, pe: int, cb: int, ptype: PacketType,
+                     token: object) -> Packet:
+        """Inject a request packet from a PE toward a CB."""
+        if self._use_cmesh(pe, cb, self.request_nis[pe]):
+            return self._send_cmesh(pe, cb, ptype, token, vc_class=0)
+        size = packet_flits(ptype, self.request_net.flit_bytes)
+        vc_class = 0
+        packet = Packet(self._next_pid(), ptype, pe, cb, size, 0,
+                        vc_class=vc_class, token=token)
+        self.request_nis[pe].enqueue(packet)
+        return packet
+
+    def send_reply(self, cb: int, pe: int, ptype: PacketType,
+                   token: object) -> Packet:
+        """Inject a reply packet from a CB toward a PE."""
+        if self.cmesh_net is not None and self._use_cmesh(
+            cb, pe, self.reply_nis[cb]
+        ):
+            return self._send_cmesh(cb, pe, ptype, token, vc_class=1)
+        if self.config.da2mesh:
+            idx = self._da2_rr[cb]
+            self._da2_rr[cb] = (idx + 1) % len(self.reply_subnets)
+            subnet = self.reply_subnets[idx]
+            ni = self.reply_nis[cb][idx]
+            size = packet_flits(ptype, subnet.flit_bytes)
+            packet = Packet(self._next_pid(), ptype, cb, pe, size, 0,
+                            vc_class=0, token=token)
+            ni.enqueue(packet)
+            return packet
+        vc_class = 1 if self.config.network_type == "single" else 0
+        size = packet_flits(ptype, self.reply_net.flit_bytes)
+        packet = Packet(self._next_pid(), ptype, cb, pe, size, 0,
+                        vc_class=vc_class, token=token)
+        self.reply_nis[cb].enqueue(packet)
+        return packet
+
+    def _send_cmesh(self, src: int, dst: int, ptype: PacketType,
+                    token: object, vc_class: int) -> Packet:
+        assert self.cmesh_net is not None and self.cmap is not None
+        envelope = CmeshEnvelope(real_src=src, real_dst=dst, inner=token)
+        csrc = self.cmap.cmesh_node(src)
+        cdst = self.cmap.cmesh_node(dst)
+        size = packet_flits(ptype, self.cmesh_net.flit_bytes)
+        packet = Packet(self._next_pid(), ptype, csrc, cdst, size, 0,
+                        vc_class=vc_class, token=envelope)
+        self.cmesh_nis[src].enqueue(packet)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Receiving (transaction level; network stats already recorded)
+    # ------------------------------------------------------------------
+    def pop_request(self, cb: int) -> Optional[object]:
+        """One arrived request transaction at ``cb``, if any."""
+        toggle = self._pop_toggle.get(cb, 0)
+        sources = [self._pop_request_mesh, self._pop_cmesh]
+        for k in range(len(sources)):
+            token = sources[(toggle + k) % len(sources)](cb)
+            if token is not None:
+                self._pop_toggle[cb] = (toggle + k + 1) % len(sources)
+                return token
+        return None
+
+    def _pop_request_mesh(self, cb: int) -> Optional[object]:
+        packet = self.request_net.pop_delivered(cb)
+        return packet.token if packet else None
+
+    def _pop_cmesh(self, tile: int) -> Optional[object]:
+        if self.cmesh_net is None:
+            return None
+        cnode = self.cmap.cmesh_node(tile)
+        port = self._cmesh_eject[(cnode, self.cmap.local_index(tile))]
+        packet = self.cmesh_net.pop_delivered(cnode, port=port)
+        return packet.token.inner if packet else None
+
+    def pop_reply(self, pe: int) -> Optional[object]:
+        """One arrived reply transaction at ``pe``, if any."""
+        if self.config.da2mesh:
+            start = self._da2_pop_rr.get(pe, 0)
+            n = len(self.reply_subnets)
+            for k in range(n):
+                subnet = self.reply_subnets[(start + k) % n]
+                packet = subnet.pop_delivered(pe)
+                if packet is not None:
+                    self._da2_pop_rr[pe] = (start + k + 1) % n
+                    return packet.token
+        else:
+            packet = self.reply_net.pop_delivered(pe)
+            if packet is not None:
+                return packet.token
+        token = self._pop_cmesh(pe)
+        if token is not None:
+            return token
+        return None
+
+    # ------------------------------------------------------------------
+    # Clocking and quiescence
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance every network by one base cycle (honouring ratios)."""
+        for i, (net, ratio, _role) in enumerate(self.networks):
+            self._ratio_acc[i] += ratio
+            while self._ratio_acc[i] >= 1.0:
+                net.tick()
+                self._ratio_acc[i] -= 1.0
+
+    def idle(self) -> bool:
+        return all(net.idle() for net, _r, _role in self.networks)
+
+    def last_progress(self) -> int:
+        """Most recent base cycle any network moved a flit (approximate)."""
+        out = 0
+        for net, ratio, _role in self.networks:
+            out = max(out, int(net.last_progress / ratio))
+        return out
+
+    # ------------------------------------------------------------------
+    # Stats access
+    # ------------------------------------------------------------------
+    def request_networks(self) -> List[Tuple[Network, float]]:
+        return [
+            (net, ratio)
+            for net, ratio, role in self.networks
+            if role in ("request", "both", "cmesh")
+        ]
+
+    def reply_networks(self) -> List[Tuple[Network, float]]:
+        return [
+            (net, ratio)
+            for net, ratio, role in self.networks
+            if role in ("reply", "both", "cmesh")
+        ]
+
+    def reply_backlog(self, cb: int) -> int:
+        """Packets queued in CB ``cb``'s reply NI(s) awaiting buffers."""
+        ni = self.reply_nis[cb]
+        if isinstance(ni, list):
+            return sum(sub.backlog() for sub in ni)
+        return ni.backlog()

@@ -1,0 +1,20 @@
+"""(7) EquiNox: the proposed scheme.
+
+Separate networks, N-Queen CB placement chosen by the hot-zone scoring
+policy, EIR groups selected by MCTS, and the modified five-buffer CB NI
+with shortest-path buffer selection.  The EIR links live in the
+interposer RDL and each selected EIR router gains one input port.
+"""
+
+from __future__ import annotations
+
+from .base import SchemeConfig
+
+
+def config() -> SchemeConfig:
+    return SchemeConfig(
+        name="EquiNox",
+        network_type="separate",
+        placement_name="nqueen",
+        equinox=True,
+    )

@@ -1,0 +1,22 @@
+"""(6) MultiPort [Bakhoda et al., MICRO 2010].
+
+A separate-network scheme in which every CB-connected router has
+multiple injection ports on the reply network (and matching extra
+ejection ports on the request network), widening the interface between
+the memory side and the NoC.  The injected traffic still funnels
+through the single CB router and its hot zone — the contention the
+paper contrasts EIRs against.
+"""
+
+from __future__ import annotations
+
+from .base import SchemeConfig
+
+
+def config(num_ports: int = 4) -> SchemeConfig:
+    return SchemeConfig(
+        name="MultiPort",
+        network_type="separate",
+        placement_name="diamond",
+        multiport=num_ports,
+    )

@@ -1,0 +1,19 @@
+"""(4) SeparateBase: the separate-network baseline.
+
+Request and reply traffic run on two physical meshes (2 VCs each),
+doubling injection bandwidth and isolating the classes, at the cost of
+a second network's area and static power.  Diamond placement, minimal
+adaptive routing.
+"""
+
+from __future__ import annotations
+
+from .base import SchemeConfig
+
+
+def config() -> SchemeConfig:
+    return SchemeConfig(
+        name="SeparateBase",
+        network_type="separate",
+        placement_name="diamond",
+    )

@@ -1,0 +1,19 @@
+"""(1) SingleBase: the single-network baseline.
+
+Request and reply traffic share one physical mesh; a VC is dedicated to
+each message class (2 VCs/port total, Table 1) for protocol deadlock
+freedom.  CB placement is Diamond and routing is minimal adaptive, as
+in the paper's baseline.
+"""
+
+from __future__ import annotations
+
+from .base import SchemeConfig
+
+
+def config() -> SchemeConfig:
+    return SchemeConfig(
+        name="SingleBase",
+        network_type="single",
+        placement_name="diamond",
+    )

@@ -1,0 +1,36 @@
+"""Workload substrate: 29 benchmark profiles and traffic generators."""
+
+from .generator import GeneratedRequest, RequestGenerator
+from .profiles import BENCHMARKS, BY_NAME, WorkloadProfile, get, names, subset
+from .trace import TraceEntry, TraceRecorder, TraceSource, record_trace
+from .synthetic import (
+    SweepPoint,
+    SyntheticResult,
+    run_few_to_many,
+    run_many_to_few,
+    run_uniform,
+    saturation_throughput,
+    sweep_few_to_many,
+)
+
+__all__ = [
+    "GeneratedRequest",
+    "RequestGenerator",
+    "BENCHMARKS",
+    "BY_NAME",
+    "WorkloadProfile",
+    "get",
+    "names",
+    "subset",
+    "TraceEntry",
+    "TraceRecorder",
+    "TraceSource",
+    "record_trace",
+    "SweepPoint",
+    "SyntheticResult",
+    "run_few_to_many",
+    "run_many_to_few",
+    "run_uniform",
+    "saturation_throughput",
+    "sweep_few_to_many",
+]

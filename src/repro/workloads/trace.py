@@ -1,0 +1,145 @@
+"""Trace recording and replay for memory-request streams.
+
+The stochastic generators make runs reproducible given a seed, but
+cross-implementation comparisons (and debugging) want the *same
+requests* replayed exactly.  A :class:`TraceRecorder` captures every
+request a generator produces; :class:`TraceSource` replays a recorded
+trace cycle-accurately (same cycle, same CB, same read/write mix).
+Traces serialise to a compact JSON-lines format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from .generator import GeneratedRequest, RequestGenerator
+from .profiles import WorkloadProfile
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One issued request: which cycle it was *offered* by the core."""
+
+    cycle: int
+    is_read: bool
+    cb_index: int
+    row_hit: bool
+    dependent: bool
+
+    def to_line(self) -> str:
+        return json.dumps(
+            [self.cycle, int(self.is_read), self.cb_index,
+             int(self.row_hit), int(self.dependent)]
+        )
+
+    @staticmethod
+    def from_line(line: str) -> "TraceEntry":
+        cycle, is_read, cb_index, row_hit, dependent = json.loads(line)
+        return TraceEntry(
+            cycle=cycle,
+            is_read=bool(is_read),
+            cb_index=cb_index,
+            row_hit=bool(row_hit),
+            dependent=bool(dependent),
+        )
+
+
+class TraceRecorder:
+    """Wraps a :class:`RequestGenerator`, recording what it produces.
+
+    Drop-in replacement: exposes ``maybe_issue`` with identical
+    behaviour, counting cycles internally.
+    """
+
+    def __init__(self, generator: RequestGenerator) -> None:
+        self.generator = generator
+        self.entries: List[TraceEntry] = []
+        self._cycle = 0
+
+    def maybe_issue(self) -> Optional[GeneratedRequest]:
+        self._cycle += 1
+        request = self.generator.maybe_issue()
+        if request is not None:
+            self.entries.append(
+                TraceEntry(
+                    cycle=self._cycle,
+                    is_read=request.is_read,
+                    cb_index=request.cb_index,
+                    row_hit=request.row_hit,
+                    dependent=request.dependent,
+                )
+            )
+        return request
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for entry in self.entries:
+                handle.write(entry.to_line() + "\n")
+        return path
+
+
+class TraceSource:
+    """Replays a recorded trace as a ``maybe_issue`` source.
+
+    On cycle ``c`` it returns the request recorded at cycle ``c`` (or
+    ``None``), so a replayed run offers requests at exactly the
+    recorded times.  When the trace is exhausted it returns ``None``
+    forever (``exhausted`` flips to True).
+    """
+
+    def __init__(self, entries: List[TraceEntry]) -> None:
+        self._by_cycle: Dict[int, TraceEntry] = {}
+        for entry in entries:
+            if entry.cycle in self._by_cycle:
+                raise ValueError(
+                    f"duplicate trace entry for cycle {entry.cycle}"
+                )
+            self._by_cycle[entry.cycle] = entry
+        self._cycle = 0
+        self._last_cycle = max(self._by_cycle, default=0)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceSource":
+        entries = [
+            TraceEntry.from_line(line)
+            for line in Path(path).read_text().splitlines()
+            if line.strip()
+        ]
+        return cls(entries)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cycle >= self._last_cycle
+
+    def maybe_issue(self) -> Optional[GeneratedRequest]:
+        self._cycle += 1
+        entry = self._by_cycle.get(self._cycle)
+        if entry is None:
+            return None
+        return GeneratedRequest(
+            is_read=entry.is_read,
+            cb_index=entry.cb_index,
+            row_hit=entry.row_hit,
+            dependent=entry.dependent,
+        )
+
+
+def record_trace(
+    profile: WorkloadProfile,
+    num_cbs: int,
+    cycles: int,
+    seed: int = 0,
+    pe_index: int = 0,
+) -> List[TraceEntry]:
+    """Generate and record ``cycles`` worth of one PE's request stream."""
+    recorder = TraceRecorder(
+        RequestGenerator(profile, num_cbs, seed=seed, pe_index=pe_index)
+    )
+    for _ in range(cycles):
+        recorder.maybe_issue()
+    return recorder.entries

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Registers a deterministic hypothesis profile so property tests shrink
+and replay identically across machines, and keeps example budgets small
+enough for the suite to finish in a couple of minutes.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

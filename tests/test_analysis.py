@@ -1,0 +1,91 @@
+"""Tests for the cross-run analysis helpers."""
+
+import pytest
+
+from repro.harness.analysis import (
+    classify,
+    crossover_benchmarks,
+    summarize_scheme,
+)
+from repro.harness.metrics import ExperimentResult, LatencyNs
+
+
+def result(scheme, benchmark, cycles):
+    return ExperimentResult(
+        scheme=scheme,
+        benchmark=benchmark,
+        width=8,
+        cycles=cycles,
+        instructions=1000,
+        energy_nj=100.0,
+        area_mm2=10.0,
+        latency=LatencyNs(),
+        reply_bits_fraction=0.7,
+    )
+
+
+class TestClassify:
+    def test_labels(self):
+        baseline = {
+            "heavy": result("base", "heavy", 1000),
+            "mid": result("base", "mid", 1000),
+            "light": result("base", "light", 1000),
+        }
+        improved = {
+            "heavy": result("eq", "heavy", 700),   # 30% faster
+            "mid": result("eq", "mid", 920),       # 8%
+            "light": result("eq", "light", 990),   # 1%
+        }
+        classes = {c.benchmark: c.label for c in classify(baseline, improved)}
+        assert classes == {
+            "heavy": "noc-bound",
+            "mid": "moderate",
+            "light": "compute-bound",
+        }
+
+    def test_sorted_by_sensitivity(self):
+        baseline = {b: result("base", b, 1000) for b in "abc"}
+        improved = {
+            "a": result("eq", "a", 900),
+            "b": result("eq", "b", 500),
+            "c": result("eq", "c", 990),
+        }
+        order = [c.benchmark for c in classify(baseline, improved)]
+        assert order == ["b", "a", "c"]
+
+    def test_missing_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            classify({"a": result("base", "a", 100)}, {})
+
+
+class TestSummarize:
+    def _grid(self):
+        return {
+            ("SingleBase", "x"): result("SingleBase", "x", 1000),
+            ("SingleBase", "y"): result("SingleBase", "y", 1000),
+            ("EquiNox", "x"): result("EquiNox", "x", 600),
+            ("EquiNox", "y"): result("EquiNox", "y", 1100),
+        }
+
+    def test_summary_fields(self):
+        summary = summarize_scheme("EquiNox", self._grid(), ["x", "y"])
+        assert summary.mean_reduction == pytest.approx((0.4 - 0.1) / 2)
+        assert summary.best_benchmark == "x"
+        assert summary.worst_benchmark == "y"
+        assert summary.wins == 1
+        assert summary.total == 2
+
+
+class TestCrossover:
+    def test_split(self):
+        grid = {
+            ("A", "x"): result("A", "x", 500),
+            ("B", "x"): result("B", "x", 700),
+            ("A", "y"): result("A", "y", 900),
+            ("B", "y"): result("B", "y", 800),
+            ("A", "z"): result("A", "z", 600),
+            ("B", "z"): result("B", "z", 600),
+        }
+        a_wins, b_wins = crossover_benchmarks("A", "B", grid, ["x", "y", "z"])
+        assert a_wins == ["x"]
+        assert b_wins == ["y"]

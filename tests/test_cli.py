@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheme", "TorusMax"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "EquiNox" in out
+        assert "kmeans" in out
+
+    def test_figure_fig5(self, capsys):
+        assert main(["figure", "fig5"]) == 0
+        assert "92" in capsys.readouterr().out
+
+    def test_figure_sec66(self, capsys):
+        assert main(["figure", "sec66", "--iterations", "20"]) == 0
+        assert "32768" in capsys.readouterr().out
+
+    def test_design_save_load(self, tmp_path, capsys):
+        path = tmp_path / "design.json"
+        assert main(["design", "--iterations", "10", "--save",
+                     str(path)]) == 0
+        assert path.exists()
+        assert main(["design", "--load", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "EquiNox design on 8x8" in out
+
+    def test_run_small(self, capsys):
+        assert main([
+            "run", "--scheme", "SingleBase", "--benchmark", "gaussian",
+            "--quota", "10", "--iterations", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "EDP" in out
+
+    def test_sweep_small(self, capsys):
+        assert main([
+            "sweep", "--schemes", "SingleBase", "SeparateBase",
+            "--benchmarks", "gaussian", "--quota", "10",
+            "--iterations", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Execution time (normalised to SingleBase)" in out

@@ -1,0 +1,69 @@
+"""Tests for multi-clock-domain behaviour (DA2Mesh's 2.5x subnets)."""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, build_fabric
+from repro.noc.types import PacketType
+
+
+CFG = ExperimentConfig(quota=10, mcts_iterations=20)
+
+
+class TestClockRatios:
+    def test_subnets_tick_faster(self):
+        fabric = build_fabric("DA2Mesh", CFG)
+        for _ in range(20):  # 20 base cycles
+            fabric.tick()
+        assert fabric.request_net.cycle == 20
+        for subnet in fabric.reply_subnets:
+            assert subnet.cycle == 50  # 2.5x
+
+    def test_ratio_accumulator_pattern(self):
+        """2.5x means alternating 2 and 3 subnet ticks per base tick."""
+        fabric = build_fabric("DA2Mesh", CFG)
+        deltas = []
+        prev = 0
+        for _ in range(8):
+            fabric.tick()
+            now = fabric.reply_subnets[0].cycle
+            deltas.append(now - prev)
+            prev = now
+        assert sorted(set(deltas)) == [2, 3]
+        assert sum(deltas) == 20
+
+    def test_base_networks_unaffected(self):
+        fabric = build_fabric("SeparateBase", CFG)
+        for _ in range(15):
+            fabric.tick()
+        assert fabric.request_net.cycle == 15
+        assert fabric.reply_net.cycle == 15
+
+    def test_narrow_packet_sizes(self):
+        """A 72-byte read reply is 36 narrow (2-byte) flits."""
+        fabric = build_fabric("DA2Mesh", CFG)
+        cb = fabric.placement[0]
+        pe = fabric.pes[0]
+        packet = fabric.send_reply(cb, pe, PacketType.READ_REPLY, None)
+        assert packet.size == 36
+        ack = fabric.send_reply(cb, pe, PacketType.WRITE_REPLY, None)
+        assert ack.size == 4
+
+    def test_latency_in_subnet_cycles_exceeds_base_equivalent(self):
+        """Serialisation: a narrow reply takes more wall time than a
+        wide one despite the 2.5x clock."""
+        import dataclasses
+
+        da2 = build_fabric("DA2Mesh", CFG)
+        sep = build_fabric("SeparateBase", CFG)
+        results = {}
+        for name, fabric in (("da2", da2), ("sep", sep)):
+            cb = fabric.placement[0]
+            pe = max(fabric.pes,
+                     key=lambda n: fabric.grid.hops(cb, n))
+            packet = fabric.send_reply(cb, pe, PacketType.READ_REPLY, "t")
+            for base_cycle in range(400):
+                fabric.tick()
+                if fabric.pop_reply(pe) is not None:
+                    results[name] = base_cycle + 1
+                    break
+        assert results["da2"] > results["sep"]

@@ -1,0 +1,88 @@
+"""Tests for the end-to-end EquiNox design flow."""
+
+import pytest
+
+from repro.core import design_equinox, design_from_groups
+from repro.core.eir import make_group, EirDesign
+from repro.core.equinox import EquiNoxDesign
+from repro.core.grid import Grid
+from repro.core.mcts import SearchConfig
+from repro.core.placement import PlacementResult, nqueen_best
+
+
+@pytest.fixture(scope="module")
+def design():
+    return design_equinox(8, 8, SearchConfig(iterations_per_level=25, seed=0))
+
+
+class TestDesignFlow:
+    def test_complete_design(self, design):
+        assert isinstance(design, EquiNoxDesign)
+        assert design.placement.name == "nqueen"
+        assert len(design.eir_design.groups) == 8
+        assert design.num_eirs > 8  # more than one EIR per CB on average
+
+    def test_deterministic(self, design):
+        again = design_equinox(8, 8,
+                               SearchConfig(iterations_per_level=25, seed=0))
+        assert again.eir_design == design.eir_design
+        assert again.evaluation.score == design.evaluation.score
+
+    def test_summary_contents(self, design):
+        text = design.summary()
+        assert "EquiNox design on 8x8" in text
+        assert "RDL crossings" in text
+        assert "CB (" in text
+
+    def test_search_metadata_attached(self, design):
+        assert design.search is not None
+        assert design.search.designs_evaluated > 0
+        assert len(design.search.best_score_trace) == 8
+
+    def test_rdl_plan_consistent(self, design):
+        assert len(design.rdl_plan.links) == design.num_eirs
+        assert design.rdl_plan.num_layers >= 1
+
+    def test_custom_placement_override(self):
+        grid = Grid(8)
+        nodes = (2, 13, 23, 40, 52, 61, 38, 9)
+        custom = design_equinox(
+            8, 8, SearchConfig(iterations_per_level=5, seed=0),
+            placement_nodes=nodes,
+        )
+        assert custom.placement.name == "custom"
+        assert set(custom.placement.nodes) == set(nodes)
+
+
+class TestDesignFromGroups:
+    def test_wraps_hand_built_design(self):
+        grid = Grid(8)
+        placement = nqueen_best(grid, 8)
+        cb = placement.nodes[0]
+        groups = []
+        for node in placement.nodes:
+            groups.append(make_group(node, {}))
+        eir_design = EirDesign(grid=grid, placement=placement.nodes,
+                               groups=tuple(groups))
+        wrapped = design_from_groups(grid, placement, eir_design)
+        assert wrapped.num_eirs == 0
+        assert wrapped.search is None
+        assert wrapped.rdl_plan.num_crossings == 0
+
+
+class TestScaledFlows:
+    @pytest.mark.parametrize("width", [12, 16])
+    def test_larger_networks(self, width):
+        design = design_equinox(
+            width, 8, SearchConfig(iterations_per_level=5, seed=0)
+        )
+        assert design.grid.width == width
+        assert len(design.eir_design.groups) == 8
+        # Placement still satisfies N-Queen-style non-alignment.
+        nodes = design.placement.nodes
+        grid = design.grid
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                assert not grid.same_row(a, b)
+                assert not grid.same_col(a, b)
+                assert not grid.same_diagonal(a, b)

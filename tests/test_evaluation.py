@@ -1,0 +1,110 @@
+"""Unit tests for the four-metric MCTS evaluation function."""
+
+import pytest
+
+from repro.core import evaluation, eir, placement
+from repro.core.grid import Grid
+
+
+@pytest.fixture
+def grid():
+    return Grid(8)
+
+
+@pytest.fixture
+def nodes(grid):
+    return placement.nqueen_best(grid, 8).nodes
+
+
+def build_design(grid, nodes, pick=0, require_full=True):
+    groups = []
+    taken = set()
+    for cb in nodes:
+        options = eir.enumerate_groups(
+            grid, nodes, cb, taken=frozenset(taken), require_full=require_full
+        )
+        group = options[min(pick, len(options) - 1)]
+        groups.append(group)
+        taken.update(group.nodes)
+    return eir.EirDesign(grid=grid, placement=tuple(nodes),
+                         groups=tuple(groups))
+
+
+class TestInjectionLoads:
+    def test_loads_conserve_traffic(self, grid, nodes):
+        design = build_design(grid, nodes)
+        loads = evaluation.injection_loads(design)
+        num_pes = grid.size - len(nodes)
+        assert sum(loads.values()) == pytest.approx(num_pes * len(nodes))
+
+    def test_no_eirs_all_on_local(self, grid, nodes):
+        design = eir.no_eir_design(grid, nodes)
+        loads = evaluation.injection_loads(design)
+        num_pes = grid.size - len(nodes)
+        for cb in nodes:
+            assert loads[cb] == pytest.approx(num_pes)
+
+    def test_eirs_reduce_max_load(self, grid, nodes):
+        with_eirs = evaluation.injection_loads(build_design(grid, nodes))
+        without = evaluation.injection_loads(eir.no_eir_design(grid, nodes))
+        assert max(with_eirs.values()) < max(without.values())
+
+
+class TestAverageHops:
+    def test_eirs_reduce_avg_hops(self, grid, nodes):
+        with_eirs = evaluation.average_hops(build_design(grid, nodes))
+        without = evaluation.average_hops(eir.no_eir_design(grid, nodes))
+        assert with_eirs < without
+
+    def test_positive(self, grid, nodes):
+        assert evaluation.average_hops(build_design(grid, nodes)) > 0
+
+
+class TestEvaluate:
+    def test_result_has_all_metrics(self, grid, nodes):
+        result = evaluation.evaluate(build_design(grid, nodes))
+        assert set(result.raw) == {
+            "max_load", "avg_hops", "crossings", "link_length"
+        }
+        assert set(result.normalized) == set(result.raw)
+
+    def test_normalized_in_unit_range(self, grid, nodes):
+        result = evaluation.evaluate(build_design(grid, nodes))
+        for name, value in result.normalized.items():
+            assert 0.0 <= value <= 1.5, (name, value)
+
+    def test_lower_is_better_no_eirs_scores_high_load(self, grid, nodes):
+        empty = evaluation.evaluate(eir.no_eir_design(grid, nodes))
+        assert empty.normalized["max_load"] == pytest.approx(1.0)
+
+    def test_weights_change_score(self, grid, nodes):
+        design = build_design(grid, nodes)
+        default = evaluation.evaluate(design)
+        heavy = evaluation.evaluate(
+            design,
+            weights={"max_load": 10.0, "avg_hops": 1.0, "crossings": 1.0,
+                     "link_length": 1.0},
+        )
+        assert heavy.score > default.score
+
+    def test_score_is_weighted_sum(self, grid, nodes):
+        result = evaluation.evaluate(build_design(grid, nodes))
+        expected = sum(
+            evaluation.DEFAULT_WEIGHTS[k] * v
+            for k, v in result.normalized.items()
+        )
+        assert result.score == pytest.approx(expected)
+
+
+class TestReward:
+    def test_reward_in_unit_interval(self, grid, nodes):
+        result = evaluation.evaluate(build_design(grid, nodes))
+        r = evaluation.reward(result)
+        assert 0.0 < r <= 1.0
+
+    def test_reward_monotone(self, grid, nodes):
+        good = evaluation.evaluate(build_design(grid, nodes))
+        bad = evaluation.evaluate(eir.no_eir_design(grid, nodes))
+        # The empty design has max load 1.0 and baseline hops; the EIR
+        # design should be preferred (strictly higher reward).
+        assert evaluation.reward(good) > evaluation.reward(bad)

@@ -1,0 +1,79 @@
+"""End-to-end integration tests: the paper's headline shapes at small scale.
+
+These run the same pipeline as the figure benchmarks but with smaller
+quotas so the whole file stays under a couple of minutes.  The full
+reproduction lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness import cache
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+CFG = ExperimentConfig(quota=50, mcts_iterations=40)
+
+
+@pytest.fixture(scope="module")
+def headline():
+    """SingleBase / SeparateBase / EquiNox on a memory-bound benchmark."""
+    return {
+        name: run_experiment(name, "kmeans", CFG)
+        for name in ("SingleBase", "SeparateBase", "EquiNox")
+    }
+
+
+class TestHeadline:
+    def test_execution_time_ordering(self, headline):
+        """EquiNox < SeparateBase < SingleBase on memory-bound work."""
+        assert headline["EquiNox"].cycles < headline["SeparateBase"].cycles
+        assert headline["SeparateBase"].cycles < headline["SingleBase"].cycles
+
+    def test_equinox_gain_is_substantial(self, headline):
+        reduction = 1 - headline["EquiNox"].cycles / headline["SingleBase"].cycles
+        assert reduction > 0.20  # paper: 47.7% suite-wide, more on kmeans
+
+    def test_edp_ordering(self, headline):
+        assert headline["EquiNox"].edp < headline["SeparateBase"].edp
+        assert headline["EquiNox"].edp < headline["SingleBase"].edp
+
+    def test_energy_equinox_below_separate(self, headline):
+        assert headline["EquiNox"].energy_nj < headline["SeparateBase"].energy_nj
+
+    def test_reply_bits_near_paper(self, headline):
+        """Paper: replies carry 72.7% of NoC bits."""
+        for result in headline.values():
+            assert 0.6 < result.reply_bits_fraction < 0.9
+
+    def test_request_latency_dominates(self, headline):
+        """Backpressure: request latency > reply latency (section 6.4)."""
+        lat = headline["SeparateBase"].latency
+        assert lat.request_total > lat.reply_total
+
+    def test_equinox_cuts_request_queuing(self, headline):
+        assert (
+            headline["EquiNox"].latency.request_queuing
+            < headline["SingleBase"].latency.request_queuing
+        )
+
+
+class TestComputeBound:
+    def test_gaussian_insensitive_to_scheme(self):
+        """Compute-bound benchmarks barely react (paper's gaussian)."""
+        single = run_experiment("SingleBase", "gaussian", CFG)
+        equinox = run_experiment("EquiNox", "gaussian", CFG)
+        assert abs(equinox.cycles - single.cycles) / single.cycles < 0.10
+
+
+class TestDesignArtifacts:
+    def test_equinox_design_physical_viability(self):
+        design = cache.equinox_design(8, 8, iterations_per_level=40, seed=0)
+        assert design.rdl_plan.num_layers <= 2
+        # All EIRs within the 3-hop constraint, none at distance < 2.
+        for cb, e in design.eir_design.links():
+            assert 2 <= design.grid.hops(cb, e) <= 3
+
+    def test_scalability_designs_exist(self):
+        """The 12x12 flow completes and yields a valid design."""
+        design = cache.equinox_design(12, 8, iterations_per_level=10, seed=0)
+        assert len(design.eir_design.groups) == 8
+        assert design.num_eirs > 0

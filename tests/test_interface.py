@@ -1,0 +1,236 @@
+"""Unit tests for network interfaces, including the EquiNox NI."""
+
+import pytest
+
+from repro.core.eir import EirDesign, make_group
+from repro.core.grid import Grid
+from repro.noc import (
+    EquiNoxInterface,
+    MultiPortInterface,
+    Network,
+    NetworkInterface,
+    Packet,
+    PacketType,
+)
+from repro.noc.interface import SerializationCore
+
+
+def make_net(width=8, **kwargs):
+    kwargs.setdefault("flit_bytes", 16)
+    kwargs.setdefault("vc_classes", [(0, 1)])
+    return Network("t", Grid(width), **kwargs)
+
+
+def reply(pid, src, dst, size=5):
+    return Packet(pid, PacketType.READ_REPLY, src, dst, size, 0, vc_class=0)
+
+
+def drain(net, nodes, cycles=2000):
+    out = []
+    for _ in range(cycles):
+        net.tick()
+        for n in nodes:
+            while True:
+                p = net.pop_delivered(n)
+                if p is None:
+                    break
+                out.append(p)
+        if net.idle():
+            break
+    return out
+
+
+class TestBaseNI:
+    def test_single_buffer(self):
+        net = make_net()
+        ni = NetworkInterface(net, 0)
+        assert len(ni.buffers) == 1
+        assert ni.buffers[0].target_node == 0
+
+    def test_backlog_counts_source_queue(self):
+        net = make_net()
+        ni = NetworkInterface(net, 0)
+        for pid in range(4):
+            ni.enqueue(reply(pid + 1, 0, 63))
+        assert ni.backlog() == 4
+        net.tick()
+        assert ni.backlog() == 3  # one packet moved into the buffer
+
+    def test_idle_after_drain(self):
+        net = make_net()
+        ni = NetworkInterface(net, 0)
+        ni.enqueue(reply(1, 0, 63))
+        drain(net, [63])
+        assert ni.idle()
+
+
+class TestSerializationCore:
+    def test_reserve_serial(self):
+        core = SerializationCore()
+        first = core.reserve(10, 5, 1.0)
+        second = core.reserve(10, 5, 1.0)
+        assert first == 10
+        assert second == 15
+
+    def test_rate_scales_duration(self):
+        core = SerializationCore()
+        core.reserve(0, 8, 2.0)
+        assert core.free_at == 4
+
+    def test_core_limits_aggregate_injection(self):
+        """A multi-buffer NI cannot exceed its core's bandwidth."""
+        net = make_net(8)
+        ni = MultiPortInterface(net, 0, num_ports=4)
+        n_packets = 20
+        for pid in range(n_packets):
+            ni.enqueue(reply(pid + 1, 0, 63 - (pid % 3)))
+        received = drain(net, list(net.grid.nodes()), cycles=5000)
+        assert len(received) == n_packets
+        # 20 data packets x 5 flits at 2 flits/cycle core = >= 50 cycles.
+        assert net.cycle >= 50
+
+    def test_shared_core_across_nis(self):
+        netA = make_net(4)
+        core = SerializationCore()
+        a = NetworkInterface(netA, 0, core=core)
+        b = NetworkInterface(netA, 5, core=core)
+        a.enqueue(reply(1, 0, 15))
+        b.enqueue(reply(2, 5, 15))
+        drain(netA, [15])
+        # Both packets went through one core: total reserve time stacked.
+        assert core.free_at >= 5
+
+
+class TestMultiPortNI:
+    def test_four_ports_on_same_router(self):
+        net = make_net()
+        ni = MultiPortInterface(net, 9, num_ports=4)
+        assert len(ni.buffers) == 4
+        assert all(b.target_node == 9 for b in ni.buffers)
+        # Four distinct injection ports were added to the router.
+        ports = {b.target_port for b in ni.buffers}
+        assert len(ports) == 4
+
+    def test_parallel_delivery(self):
+        net = make_net()
+        ni = MultiPortInterface(net, 0, num_ports=4)
+        for pid in range(8):
+            ni.enqueue(reply(pid + 1, 0, 56 + pid % 8))
+        received = drain(net, list(net.grid.nodes()))
+        assert len(received) == 8
+
+
+def build_equinox_ni(net, cb=None):
+    grid = net.grid
+    cb = cb if cb is not None else grid.node(3, 3)
+    groups = (
+        make_group(
+            cb,
+            {
+                (1, 0): grid.node(5, 3),
+                (-1, 0): grid.node(1, 3),
+                (0, 1): grid.node(3, 5),
+                (0, -1): grid.node(3, 1),
+            },
+        ),
+    )
+    design = EirDesign(grid=grid, placement=(cb,), groups=groups)
+    return EquiNoxInterface(net, cb, design), design, cb
+
+
+class TestEquiNoxNI:
+    def test_five_buffers(self):
+        net = make_net()
+        ni, _design, cb = build_equinox_ni(net)
+        assert len(ni.buffers) == 5
+        assert ni.buffers[0].target_node == cb
+        assert ni.num_idle_buffers == 0
+
+    def test_eir_buffers_use_interposer(self):
+        net = make_net()
+        ni, _design, _cb = build_equinox_ni(net)
+        assert not ni.buffers[0].interposer
+        assert all(b.interposer for b in ni.buffers[1:])
+        assert all(b.length == 2.0 for b in ni.buffers[1:])
+
+    def test_axis_destination_single_eir(self):
+        """Axis destinations have exactly one shortest-path EIR."""
+        net = make_net()
+        ni, _design, cb = build_equinox_ni(net)
+        grid = net.grid
+        dst = grid.node(7, 3)  # due east
+        choices = ni._choices[dst]
+        assert len(choices) == 1
+        assert ni.buffers[choices[0]].target_node == grid.node(5, 3)
+
+    def test_quadrant_destination_two_eirs(self):
+        net = make_net()
+        ni, _design, cb = build_equinox_ni(net)
+        grid = net.grid
+        dst = grid.node(6, 6)  # south-east quadrant
+        choices = ni._choices[dst]
+        assert len(choices) == 2
+        targets = {ni.buffers[i].target_node for i in choices}
+        assert targets == {grid.node(5, 3), grid.node(3, 5)}
+
+    def test_injection_spreads_over_eirs(self):
+        net = make_net()
+        ni, _design, cb = build_equinox_ni(net)
+        grid = net.grid
+        for pid in range(12):
+            ni.enqueue(reply(pid + 1, cb, grid.node(7, 7)))
+        received = drain(net, list(net.grid.nodes()))
+        assert len(received) == 12
+        inject_routers = {p.inject_router for p in received}
+        # Quadrant traffic round-robins over the two shortest-path EIRs
+        # (and may fall back to the local router under pressure).
+        assert grid.node(5, 3) in inject_routers or grid.node(3, 5) in inject_routers
+        assert len(inject_routers) >= 2
+
+    def test_no_detour_injection(self):
+        """Packets only inject at routers on a minimal path."""
+        net = make_net()
+        ni, _design, cb = build_equinox_ni(net)
+        grid = net.grid
+        dsts = [grid.node(7, 7), grid.node(0, 0), grid.node(7, 3),
+                grid.node(3, 0)]
+        packets = []
+        for pid, dst in enumerate(dsts):
+            p = reply(pid + 1, cb, dst)
+            packets.append(p)
+            ni.enqueue(p)
+        drain(net, list(net.grid.nodes()))
+        for p in packets:
+            inj = p.inject_router
+            assert (
+                grid.hops(cb, inj) + grid.hops(inj, p.dst)
+                == grid.hops(cb, p.dst)
+            )
+
+    def test_partial_group_padding(self):
+        """Boundary CBs with fewer EIRs keep the 5-buffer layout count."""
+        net = make_net()
+        grid = net.grid
+        cb = grid.node(0, 0)
+        groups = (make_group(cb, {(1, 0): grid.node(2, 0)}),)
+        design = EirDesign(grid=grid, placement=(cb,), groups=groups)
+        ni = EquiNoxInterface(net, cb, design)
+        assert len(ni.buffers) == 2
+        assert ni.num_idle_buffers == 3
+
+    def test_head_of_line_retry(self):
+        """Buffer Selection 1: if no eligible buffer, retry (no bypass)."""
+        net = make_net()
+        ni, _design, cb = build_equinox_ni(net)
+        grid = net.grid
+        east = grid.node(7, 3)
+        # Fill the east EIR buffer and the local buffer.
+        ni.enqueue(reply(1, cb, east))
+        ni.enqueue(reply(2, cb, east))
+        ni.enqueue(reply(3, cb, east))
+        net.tick()
+        net.tick()
+        # Packet 3 must wait for a buffer rather than skip ahead.
+        assert ni.backlog() >= 1
+        received = drain(net, list(net.grid.nodes()))
+        assert [p.pid for p in received] == [1, 2, 3]

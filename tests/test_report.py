@@ -1,0 +1,59 @@
+"""Tests for the consolidated report builder."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.report import SECTIONS, build_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    d = tmp_path / "results"
+    d.mkdir()
+    (d / "figure5.txt").write_text("Figure 5: 92 solutions\n")
+    (d / "table1.txt").write_text("Parameter  Value\n")
+    return d
+
+
+class TestBuildReport:
+    def test_collects_present_sections(self, results_dir):
+        report = build_report(results_dir)
+        assert "figure5" in report.sections
+        assert "table1" in report.sections
+        assert "figure9" in report.missing
+
+    def test_render_includes_titles_and_content(self, results_dir):
+        text = build_report(results_dir).render()
+        assert "Figure 5 — N-Queen scoring" in text
+        assert "92 solutions" in text
+        assert "Missing sections" in text
+
+    def test_empty_dir(self, tmp_path):
+        report = build_report(tmp_path)
+        assert report.sections == {}
+        assert len(report.missing) == len(SECTIONS)
+
+    def test_full_report_no_missing(self, tmp_path):
+        d = tmp_path / "r"
+        d.mkdir()
+        for key, _title in SECTIONS:
+            (d / f"{key}.txt").write_text(f"content of {key}\n")
+        report = build_report(d)
+        assert not report.missing
+        assert "Missing sections" not in report.render()
+
+
+class TestWriteReport:
+    def test_writes_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "REPORT.md")
+        assert out.exists()
+        assert "EquiNox reproduction report" in out.read_text()
+
+    def test_cli_report(self, results_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "R.md"
+        assert main(["report", "--results", str(results_dir),
+                     "--output", str(out)]) == 0
+        assert out.exists()

@@ -1,0 +1,168 @@
+"""Tests for scheme configs and the fabric builder."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.harness import cache
+from repro.harness.experiment import ExperimentConfig, build_fabric
+from repro.noc import PacketType
+from repro.noc.interface import EquiNoxInterface, MultiPortInterface
+from repro.schemes import SCHEME_ORDER, Fabric, SchemeConfig, get_config
+
+
+class TestConfigs:
+    def test_all_seven_schemes_exist(self):
+        assert SCHEME_ORDER == [
+            "SingleBase",
+            "VC-Mono",
+            "Interposer-CMesh",
+            "SeparateBase",
+            "DA2Mesh",
+            "MultiPort",
+            "EquiNox",
+        ]
+
+    def test_network_types_match_paper(self):
+        """Schemes 1-3 are single-network, 4-7 separate (section 5)."""
+        for name in SCHEME_ORDER[:3]:
+            assert get_config(name).network_type == "single"
+        for name in SCHEME_ORDER[3:]:
+            assert get_config(name).network_type == "separate"
+
+    def test_equinox_uses_nqueen(self):
+        assert get_config("EquiNox").placement_name == "nqueen"
+
+    def test_others_use_diamond(self):
+        for name in SCHEME_ORDER[:-1]:
+            assert get_config(name).placement_name == "diamond"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            get_config("Mesh2000")
+
+    def test_invalid_combinations_rejected(self):
+        with pytest.raises(ValueError):
+            SchemeConfig(name="x", network_type="single", equinox=True)
+        with pytest.raises(ValueError):
+            SchemeConfig(name="x", network_type="single", da2mesh=True)
+        with pytest.raises(ValueError):
+            SchemeConfig(name="x", network_type="ring")
+
+
+class TestFabricStructure:
+    @pytest.fixture(autouse=True)
+    def _cfg(self):
+        self.cfg = ExperimentConfig(quota=10, mcts_iterations=20)
+
+    def test_single_base_one_network(self):
+        fabric = build_fabric("SingleBase", self.cfg)
+        assert len(fabric.networks) == 1
+        assert fabric.request_net is fabric.reply_net
+
+    def test_separate_base_two_networks(self):
+        fabric = build_fabric("SeparateBase", self.cfg)
+        assert len(fabric.networks) == 2
+        assert fabric.request_net is not fabric.reply_net
+
+    def test_cmesh_has_overlay(self):
+        fabric = build_fabric("Interposer-CMesh", self.cfg)
+        assert fabric.cmesh_net is not None
+        assert fabric.cmesh_net.grid.size == 16
+        assert len(fabric.cmesh_nis) == 64
+
+    def test_da2mesh_has_eight_subnets(self):
+        fabric = build_fabric("DA2Mesh", self.cfg)
+        assert len(fabric.reply_subnets) == 8
+        for subnet in fabric.reply_subnets:
+            assert subnet.flit_bytes == 2
+            assert subnet.clock_ratio == 2.5
+
+    def test_multiport_nis(self):
+        fabric = build_fabric("MultiPort", self.cfg)
+        for cb in fabric.placement:
+            assert isinstance(fabric.reply_nis[cb], MultiPortInterface)
+            assert len(fabric.reply_nis[cb].buffers) == 4
+            # Extra request-network ejection ports at CBs.
+            router = fabric.request_net.routers[cb]
+            assert len(router.eject_ports) == 4
+
+    def test_equinox_nis_and_eir_ports(self):
+        fabric = build_fabric("EquiNox", self.cfg)
+        design = fabric.equinox_design
+        assert design is not None
+        total_eirs = 0
+        for cb in fabric.placement:
+            ni = fabric.reply_nis[cb]
+            assert isinstance(ni, EquiNoxInterface)
+            total_eirs += len(ni.buffers) - 1
+        assert total_eirs == design.num_eirs
+
+    def test_vc_mono_flags(self):
+        fabric = build_fabric("VC-Mono", self.cfg)
+        net = fabric.request_net
+        assert net.routers[0].monopolize
+        assert net.monopolize_injection
+
+
+class TestFabricTraffic:
+    @pytest.fixture(autouse=True)
+    def _cfg(self):
+        self.cfg = ExperimentConfig(quota=10, mcts_iterations=20)
+
+    def _roundtrip(self, scheme):
+        fabric = build_fabric(scheme, self.cfg)
+        pe = fabric.pes[0]
+        cb = fabric.placement[0]
+        token = {"id": 1}
+        fabric.send_request(pe, cb, PacketType.READ_REQUEST, token)
+        got = None
+        for _ in range(500):
+            fabric.tick()
+            got = fabric.pop_request(cb)
+            if got is not None:
+                break
+        assert got is token
+        fabric.send_reply(cb, pe, PacketType.READ_REPLY, token)
+        back = None
+        for _ in range(500):
+            fabric.tick()
+            back = fabric.pop_reply(pe)
+            if back is not None:
+                break
+        assert back is token
+        assert fabric.idle()
+
+    @pytest.mark.parametrize("scheme", SCHEME_ORDER)
+    def test_request_reply_roundtrip(self, scheme):
+        self._roundtrip(scheme)
+
+    def test_cmesh_chooser_uses_overlay_for_far_traffic(self):
+        fabric = build_fabric("Interposer-CMesh", self.cfg)
+        grid = fabric.grid
+        cb = fabric.placement[0]
+        far_pe = max(fabric.pes, key=lambda n: grid.hops(cb, n))
+        near_pe = min(fabric.pes, key=lambda n: grid.hops(cb, n))
+        assert fabric._use_cmesh(cb, far_pe)
+        assert not fabric._use_cmesh(cb, near_pe)
+
+    def test_da2mesh_round_robin_across_subnets(self):
+        fabric = build_fabric("DA2Mesh", self.cfg)
+        cb = fabric.placement[0]
+        pe = fabric.pes[0]
+        packets = [
+            fabric.send_reply(cb, pe, PacketType.READ_REPLY, {"i": i})
+            for i in range(8)
+        ]
+        # Packets landed in eight different subnets' NIs.
+        backlogs = [ni.backlog() + (0 if ni.buffers[0].free else 1)
+                    for ni in fabric.reply_nis[cb]]
+        assert sum(backlogs) == 8
+        assert max(backlogs) == 1
+
+    def test_reply_backlog_reporting(self):
+        fabric = build_fabric("SeparateBase", self.cfg)
+        cb = fabric.placement[0]
+        pe = fabric.pes[0]
+        for i in range(5):
+            fabric.send_reply(cb, pe, PacketType.READ_REPLY, i)
+        assert fabric.reply_backlog(cb) == 5

@@ -1,0 +1,96 @@
+"""Unit tests for network statistics."""
+
+import numpy as np
+import pytest
+
+from repro.noc.stats import LatencyAccumulator, NetworkStats
+from repro.noc.types import Packet, PacketType
+
+
+def packet(ptype=PacketType.READ_REPLY, size=5, created=0, delivered=20):
+    p = Packet(1, ptype, 0, 5, size, created)
+    p.delivered = delivered
+    return p
+
+
+class TestLatencyAccumulator:
+    def test_add_splits_queuing(self):
+        acc = LatencyAccumulator()
+        acc.add(total=30, non_queuing=12)
+        assert acc.count == 1
+        assert acc.queuing == 18
+        assert acc.non_queuing == 12
+
+    def test_non_queuing_clamped_to_total(self):
+        acc = LatencyAccumulator()
+        acc.add(total=8, non_queuing=12)  # faster than the model's bound
+        assert acc.non_queuing == 8
+        assert acc.queuing == 0
+
+    def test_means(self):
+        acc = LatencyAccumulator()
+        acc.add(10, 4)
+        acc.add(20, 4)
+        assert acc.mean_total == 15.0
+        assert acc.mean_queuing == 11.0
+        assert acc.mean_non_queuing == 4.0
+
+    def test_empty_means_zero(self):
+        acc = LatencyAccumulator()
+        assert acc.mean_total == 0.0
+
+
+class TestNetworkStats:
+    def test_record_delivery_by_type(self):
+        stats = NetworkStats(16, 16)
+        stats.record_delivery(packet(PacketType.READ_REPLY), 10)
+        stats.record_delivery(packet(PacketType.READ_REQUEST, size=1), 10)
+        assert stats.latency[PacketType.READ_REPLY].count == 1
+        assert stats.latency[PacketType.READ_REQUEST].count == 1
+        assert stats.packets_delivered == 2
+        assert stats.bits_delivered == (5 + 1) * 16 * 8
+
+    def test_latency_breakdown_groups_types(self):
+        stats = NetworkStats(16, 16)
+        stats.record_delivery(packet(PacketType.READ_REPLY), 12)
+        stats.record_delivery(packet(PacketType.WRITE_REPLY, size=1), 12)
+        stats.record_delivery(packet(PacketType.READ_REQUEST, size=1), 12)
+        breakdown = stats.latency_breakdown()
+        assert breakdown["reply_queuing"] == pytest.approx(8.0)
+        assert breakdown["request_non_queuing"] == pytest.approx(12.0)
+
+    def test_mean_latency_filtered(self):
+        stats = NetworkStats(16, 16)
+        stats.record_delivery(packet(PacketType.READ_REPLY, delivered=30), 10)
+        stats.record_delivery(
+            packet(PacketType.READ_REQUEST, delivered=10), 5
+        )
+        assert stats.mean_latency() == pytest.approx(20.0)
+        assert stats.mean_latency([PacketType.READ_REQUEST]) == 10.0
+
+    def test_heatmap_masks_untouched_routers(self):
+        stats = NetworkStats(4, 16)
+        stats.record_move(2, 7)
+        heat = stats.heatmap()
+        assert heat[2] == 7.0
+        assert heat[0] == 0.0
+
+    def test_heatmap_variance(self):
+        stats = NetworkStats(4, 16)
+        for node in range(4):
+            stats.record_move(node, 3)
+        assert stats.heatmap_variance() == 0.0
+
+    def test_merge_accumulates(self):
+        a = NetworkStats(16, 2)
+        b = NetworkStats(16, 2)
+        a.buffer_writes = 5
+        b.buffer_writes = 7
+        a.record_move(3, 2)
+        b.record_move(3, 4)
+        b.record_delivery(packet(), 10)
+        a.merge(b)
+        assert a.buffer_writes == 12
+        assert a.residence_cycles[3] == 6
+        assert a.residence_count[3] == 2
+        assert a.latency[PacketType.READ_REPLY].count == 1

@@ -1,0 +1,93 @@
+"""Tests for request-trace recording and replay."""
+
+import pytest
+
+from repro.workloads.generator import RequestGenerator
+from repro.workloads.profiles import get
+from repro.workloads.trace import (
+    TraceEntry,
+    TraceRecorder,
+    TraceSource,
+    record_trace,
+)
+
+
+class TestRecord:
+    def test_recorder_is_transparent(self):
+        profile = get("kmeans")
+        plain = RequestGenerator(profile, 8, seed=4, pe_index=0)
+        recorded = TraceRecorder(
+            RequestGenerator(profile, 8, seed=4, pe_index=0)
+        )
+        for _ in range(500):
+            a = plain.maybe_issue()
+            b = recorded.maybe_issue()
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert (a.is_read, a.cb_index, a.row_hit) == (
+                    b.is_read, b.cb_index, b.row_hit
+                )
+
+    def test_record_trace_helper(self):
+        entries = record_trace(get("kmeans"), 8, cycles=400, seed=1)
+        assert entries
+        assert all(1 <= e.cycle <= 400 for e in entries)
+        cycles = [e.cycle for e in entries]
+        assert cycles == sorted(cycles)
+
+    def test_entry_roundtrip(self):
+        entry = TraceEntry(cycle=12, is_read=True, cb_index=3,
+                           row_hit=False, dependent=True)
+        assert TraceEntry.from_line(entry.to_line()) == entry
+
+
+class TestReplay:
+    def test_replay_matches_recording(self):
+        profile = get("hotspot")
+        entries = record_trace(profile, 8, cycles=600, seed=2)
+        source = TraceSource(entries)
+        replayed = []
+        for cycle in range(1, 601):
+            request = source.maybe_issue()
+            if request is not None:
+                replayed.append((cycle, request.is_read, request.cb_index))
+        assert replayed == [
+            (e.cycle, e.is_read, e.cb_index) for e in entries
+        ]
+
+    def test_exhaustion(self):
+        entries = [TraceEntry(2, True, 0, True, False)]
+        source = TraceSource(entries)
+        assert not source.exhausted
+        assert source.maybe_issue() is None     # cycle 1
+        assert source.maybe_issue() is not None  # cycle 2
+        assert source.exhausted
+        assert source.maybe_issue() is None
+
+    def test_duplicate_cycle_rejected(self):
+        entries = [
+            TraceEntry(1, True, 0, True, False),
+            TraceEntry(1, False, 1, True, False),
+        ]
+        with pytest.raises(ValueError, match="duplicate"):
+            TraceSource(entries)
+
+    def test_file_roundtrip(self, tmp_path):
+        recorder = TraceRecorder(
+            RequestGenerator(get("scan"), 8, seed=3, pe_index=1)
+        )
+        for _ in range(300):
+            recorder.maybe_issue()
+        path = recorder.save(tmp_path / "traces" / "scan.jsonl")
+        assert path.exists()
+        source = TraceSource.load(path)
+        replayed = 0
+        for _ in range(300):
+            if source.maybe_issue() is not None:
+                replayed += 1
+        assert replayed == len(recorder.entries)
+
+    def test_empty_trace(self):
+        source = TraceSource([])
+        assert source.exhausted
+        assert source.maybe_issue() is None

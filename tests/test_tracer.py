@@ -1,0 +1,121 @@
+"""Tests for the packet tracer."""
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.noc import Network, NetworkInterface, Packet, PacketType
+from repro.noc.tracer import PacketTracer
+
+
+def make_traced_net(watch=None):
+    net = Network("t", Grid(4), flit_bytes=16, vc_classes=[(0,), (1,)])
+    nis = {n: NetworkInterface(net, n) for n in net.grid.nodes()}
+    tracer = PacketTracer(net, watch=watch)
+    return net, nis, tracer
+
+
+def run(net, dst, cycles=300):
+    for _ in range(cycles):
+        net.tick()
+        got = net.pop_delivered(dst)
+        if got:
+            return got
+    return None
+
+
+class TestTracer:
+    def test_records_hops_and_delivery(self):
+        net, nis, tracer = make_traced_net()
+        p = Packet(1, PacketType.READ_REPLY, 0, 15, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        assert run(net, 15) is p
+        events = tracer.trace(1)
+        assert events
+        kinds = {e.kind for e in events}
+        assert "hop" in kinds
+        assert "eject" in kinds
+        assert "deliver" in kinds
+
+    def test_path_is_minimal_at_zero_load(self):
+        net, nis, tracer = make_traced_net()
+        src, dst = 0, 15
+        p = Packet(1, PacketType.READ_REPLY, src, dst, 5, 0, vc_class=1)
+        nis[src].enqueue(p)
+        run(net, dst)
+        path = tracer.path(1)
+        # hops + final eject at the destination router
+        assert len(path) == net.grid.hops(src, dst) + 1
+        assert path[0] == src
+        assert path[-1] == dst
+        for a, b in zip(path, path[1:]):
+            assert net.grid.hops(a, b) <= 1
+
+    def test_wait_cycles_zero_at_zero_load(self):
+        net, nis, tracer = make_traced_net()
+        p = Packet(1, PacketType.READ_REPLY, 0, 15, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        run(net, 15)
+        assert tracer.wait_cycles(1) == 0
+
+    def test_wait_cycles_positive_under_contention(self):
+        """Packets from different sources converging on one destination
+        contend for the shared ejection port and merging links."""
+        net, nis, tracer = make_traced_net()
+        pid = 0
+        for src in (0, 1, 2, 4, 8):
+            for _ in range(2):
+                pid += 1
+                nis[src].enqueue(
+                    Packet(pid, PacketType.READ_REPLY, src, 15, 5, 0,
+                           vc_class=1)
+                )
+        for _ in range(800):
+            net.tick()
+            while net.pop_delivered(15):
+                pass
+            if net.idle():
+                break
+        total_wait = sum(tracer.wait_cycles(p) for p in range(1, pid + 1))
+        assert total_wait > 0
+
+    def test_watch_filter(self):
+        net, nis, tracer = make_traced_net(watch=lambda p: p.pid == 2)
+        for pid in (1, 2, 3):
+            nis[0].enqueue(
+                Packet(pid, PacketType.READ_REQUEST, 0, 15, 1, 0, vc_class=0)
+            )
+        for _ in range(200):
+            net.tick()
+            while net.pop_delivered(15):
+                pass
+            if net.idle():
+                break
+        assert tracer.trace(1) == []
+        assert tracer.trace(2) != []
+        assert tracer.trace(3) == []
+
+    def test_format_trace(self):
+        net, nis, tracer = make_traced_net()
+        p = Packet(7, PacketType.READ_REPLY, 0, 5, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        run(net, 5)
+        text = tracer.format_trace(7)
+        assert "packet 7:" in text
+        assert "deliver" in text
+        assert tracer.format_trace(99) == "packet 99: no recorded events"
+
+    def test_max_packets_cap(self):
+        net, nis, tracer = make_traced_net()
+        tracer.max_packets = 2
+        for pid in range(1, 6):
+            nis[pid % 4].enqueue(
+                Packet(pid, PacketType.READ_REQUEST, pid % 4, 15, 1, 0,
+                       vc_class=0)
+            )
+        for _ in range(300):
+            net.tick()
+            while net.pop_delivered(15):
+                pass
+            if net.idle():
+                break
+        assert len(tracer.events) <= 2

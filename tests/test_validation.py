@@ -1,0 +1,91 @@
+"""Tests for the network invariant checker, and invariant fuzzing."""
+
+import random
+
+import pytest
+
+from repro.core.grid import Grid
+from repro.noc import Network, NetworkInterface, Packet, PacketType
+from repro.noc.validation import assert_healthy, check_invariants
+
+
+def make_net(**kwargs):
+    kwargs.setdefault("flit_bytes", 16)
+    kwargs.setdefault("vc_classes", [(0,), (1,)])
+    net = Network("t", Grid(4), **kwargs)
+    nis = {n: NetworkInterface(net, n) for n in net.grid.nodes()}
+    return net, nis
+
+
+class TestChecker:
+    def test_fresh_network_healthy(self):
+        net, _ = make_net()
+        assert check_invariants(net) == []
+        assert_healthy(net)
+
+    def test_detects_negative_credits(self):
+        net, _ = make_net()
+        net.routers[0].outputs[0].credits[0] = -1
+        problems = check_invariants(net)
+        assert any("negative credits" in p for p in problems)
+        with pytest.raises(AssertionError):
+            assert_healthy(net)
+
+    def test_detects_credit_overflow(self):
+        net, _ = make_net()
+        out = net.routers[0].outputs[0]
+        out.credits[0] = out.capacity + 3
+        assert any("exceed capacity" in p for p in check_invariants(net))
+
+    def test_detects_flit_count_drift(self):
+        net, _ = make_net()
+        net.routers[5].flit_count = 2
+        assert any("flit_count" in p for p in check_invariants(net))
+
+    def test_detects_foreign_vc_flit(self):
+        net, _ = make_net()
+        router = net.routers[3]
+        packet = Packet(1, PacketType.READ_REPLY, 0, 3, 1, 0, vc_class=1)
+        flit = packet.make_flits()[0]
+        router.accept(0, 0, flit, 1)  # reply flit into the request VC
+        assert any("foreign VC" in p for p in check_invariants(net))
+
+    def test_route_without_flits_is_legal(self):
+        """Mid-packet: flits forwarded, tail still on the upstream link."""
+        net, _ = make_net()
+        ivc = net.routers[2].inputs[0][0]
+        ivc.out_port = 1
+        assert check_invariants(net) == []
+
+
+class TestInvariantsUnderLoad:
+    """The checker holds at every cycle of a random run."""
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_healthy_throughout(self, seed):
+        net, nis = make_net()
+        rng = random.Random(seed)
+        nodes = list(net.grid.nodes())
+        pid = 0
+        for cycle in range(250):
+            for src in nodes:
+                if rng.random() < 0.15:
+                    dst = rng.choice(nodes)
+                    if dst == src:
+                        continue
+                    pid += 1
+                    reply = rng.random() < 0.5
+                    nis[src].enqueue(Packet(
+                        pid,
+                        PacketType.READ_REPLY if reply
+                        else PacketType.READ_REQUEST,
+                        src, dst, 5 if reply else 1, 0,
+                        vc_class=1 if reply else 0,
+                    ))
+            net.tick()
+            if cycle % 10 == 0:
+                assert_healthy(net)
+            for n in nodes:
+                while net.pop_delivered(n):
+                    pass
+        assert_healthy(net)

@@ -34,6 +34,15 @@ def bench_config() -> ExperimentConfig:
     return ExperimentConfig(quota=quota, mcts_iterations=150)
 
 
+def bench_jobs() -> int:
+    """Worker processes for grid-shaped benchmarks.
+
+    ``REPRO_BENCH_JOBS`` (default 1 = serial) fans the Figure-9 grid out
+    through the parallel sweep runner; results are identical either way.
+    """
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
 def quick_config() -> ExperimentConfig:
     """A small configuration for the ablation benchmarks."""
     quota = int(os.environ.get("REPRO_ABL_QUOTA", "60"))
@@ -46,7 +55,9 @@ def shared_figure9():
     if key not in _FIG9_CACHE:
         from repro.harness.figures import figure9
 
-        _FIG9_CACHE[key] = figure9(bench_config(), progress=True)
+        _FIG9_CACHE[key] = figure9(
+            bench_config(), progress=True, jobs=bench_jobs()
+        )
     return _FIG9_CACHE[key]
 
 

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Micro-benchmark of the simulator's tick hot path.
+
+Two workloads bracket the inner loop:
+
+* ``synthetic`` — uniform random traffic on a bare 8x8 network, which
+  spends nearly all its time in ``Network.tick`` / ``Router.tick`` /
+  NI ``tick`` (the loop the hot-path optimisations target);
+* ``system`` — one full (scheme, benchmark) cell through the GPU model,
+  the shape every harness sweep repeats hundreds of times.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/perf_tick.py [--repeat N]
+
+and compare the cycles/second figures across commits.  The checksum is
+a digest of the network statistics, so a perf change that alters
+simulated behaviour is visible immediately.
+
+Reference numbers are recorded in ``results/perf_tick.txt`` (written on
+every run) and quoted in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import time
+from pathlib import Path
+
+from repro.core.grid import Grid
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.workloads.synthetic import run_uniform
+
+
+def bench_synthetic(repeat: int) -> dict:
+    """Uniform random traffic: the bare network tick loop."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_uniform(Grid(8), injection_rate=0.08, cycles=4000, seed=1)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    snap = result.network.stats.snapshot() if hasattr(
+        result.network.stats, "snapshot") else {"received": result.received}
+    checksum = hashlib.sha256(
+        json.dumps(snap, sort_keys=True).encode()
+    ).hexdigest()[:10]
+    return {
+        "name": "synthetic",
+        "cycles": result.cycles,
+        "seconds": best,
+        "cycles_per_s": result.cycles / best,
+        "checksum": checksum,
+        "received": result.received,
+    }
+
+
+def bench_system(repeat: int) -> dict:
+    """One full-system experiment cell (SeparateBase x kmeans)."""
+    config = ExperimentConfig(quota=40, mcts_iterations=40)
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = run_experiment("SeparateBase", "kmeans", config)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "name": "system",
+        "cycles": result.cycles,
+        "seconds": best,
+        "cycles_per_s": result.cycles / best,
+        "checksum": f"{result.cycles}/{result.instructions}",
+        "received": result.instructions,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="take the best of N runs (default 3)")
+    args = parser.parse_args()
+
+    lines = ["perf_tick — simulator hot-path micro-benchmark"]
+    for bench in (bench_synthetic, bench_system):
+        row = bench(args.repeat)
+        line = (
+            f"{row['name']:<10} {row['cycles']:>8} cycles  "
+            f"{row['seconds']:.3f} s  "
+            f"{row['cycles_per_s']:>10.0f} cycles/s  "
+            f"checksum {row['checksum']}"
+        )
+        print(line, flush=True)
+        lines.append(line)
+
+    results_dir = Path(__file__).resolve().parent.parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "perf_tick.txt").write_text("\n".join(lines) + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,54 +5,90 @@ A scaled-down version of the paper's headline experiment: five
 benchmarks spanning compute-bound (gaussian) to memory-bound (kmeans),
 all seven schemes, normalised execution time / energy / EDP.
 
-Run:  python examples/benchmark_sweep.py           (about 3-5 minutes)
-      python examples/benchmark_sweep.py --quick   (smaller runs)
+Run:  python examples/benchmark_sweep.py             (about 3-5 minutes)
+      python examples/benchmark_sweep.py --quick     (smaller runs)
+      python examples/benchmark_sweep.py --jobs 4    (parallel workers)
+      python examples/benchmark_sweep.py --smoke     (2x2 CI smoke grid)
+
+``--jobs N`` fans the grid out across N worker processes through the
+parallel sweep runner; aggregate statistics are bit-identical to a
+serial run, and the timing summary at the end reports the achieved
+parallel speedup (bounded by the machine's core count).
 """
 
-import sys
+import argparse
 
-from repro import ExperimentConfig, SCHEME_ORDER, run_suite
+from repro import SCHEME_ORDER, ExperimentConfig
 from repro.harness.metrics import format_table, normalize
+from repro.harness.runner import sweep
 
 BENCHMARKS = ["gaussian", "hotspot", "bfs", "fastWalshTransform", "kmeans"]
 
 
-def main() -> None:
-    quick = "--quick" in sys.argv
-    config = ExperimentConfig(
-        quota=40 if quick else 80,
-        mcts_iterations=40 if quick else 100,
-    )
-    print(f"Running {len(SCHEME_ORDER)} schemes x {len(BENCHMARKS)} "
-          f"benchmarks (quota={config.quota}) ...")
-    results = run_suite(SCHEME_ORDER, BENCHMARKS, config, progress=True)
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller per-cell runs")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny 2-scheme x 2-benchmark grid (CI smoke)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default 1 = serial)")
+    return parser.parse_args()
 
+
+def main() -> None:
+    args = parse_args()
+    schemes = list(SCHEME_ORDER)
+    benchmarks = list(BENCHMARKS)
+    if args.smoke:
+        schemes = ["SingleBase", "EquiNox"]
+        benchmarks = ["gaussian", "kmeans"]
+    config = ExperimentConfig(
+        quota=20 if args.smoke else (40 if args.quick else 80),
+        mcts_iterations=20 if args.smoke else (40 if args.quick else 100),
+    )
+    print(f"Running {len(schemes)} schemes x {len(benchmarks)} "
+          f"benchmarks (quota={config.quota}, jobs={args.jobs}) ...")
+    report = sweep(schemes, benchmarks, config, jobs=args.jobs,
+                   progress=True)
+    errors = report.errors()
+    for (scheme, bench), trace in errors.items():
+        print(f"\nFAILED {scheme} x {bench}:\n{trace}")
+    if errors:
+        raise SystemExit(1)
+    results = report.results()
+
+    means = {s: 0.0 for s in schemes}
     for metric, label in (
         ("cycles", "Execution time"),
         ("energy_nj", "NoC energy"),
         ("edp", "Energy-delay product"),
     ):
         rows = []
-        means = {s: 0.0 for s in SCHEME_ORDER}
-        for bench in BENCHMARKS:
+        means = {s: 0.0 for s in schemes}
+        for bench in benchmarks:
             values = {
-                s: getattr(results[(s, bench)], metric) for s in SCHEME_ORDER
+                s: getattr(results[(s, bench)], metric) for s in schemes
             }
             normed = normalize(values, "SingleBase")
-            rows.append(tuple([bench] + [normed[s] for s in SCHEME_ORDER]))
-            for s in SCHEME_ORDER:
-                means[s] += normed[s] / len(BENCHMARKS)
-        rows.append(tuple(["MEAN"] + [means[s] for s in SCHEME_ORDER]))
+            rows.append(tuple([bench] + [normed[s] for s in schemes]))
+            for s in schemes:
+                means[s] += normed[s] / len(benchmarks)
+        rows.append(tuple(["MEAN"] + [means[s] for s in schemes]))
         print(f"\n{label} (normalised to SingleBase)")
-        print(format_table(tuple(["Benchmark"] + SCHEME_ORDER), rows))
+        print(format_table(tuple(["Benchmark"] + schemes), rows))
 
-    eq = means["EquiNox"]
-    sep = means["SeparateBase"]
-    print(
-        f"\nEquiNox EDP: {100 * (1 - eq):.1f}% below SingleBase, "
-        f"{100 * (1 - eq / sep):.1f}% below SeparateBase "
-        f"(paper: 55.0% / 32.8% on the full 29-benchmark suite)"
-    )
+    if not args.smoke:
+        eq = means["EquiNox"]
+        sep = means["SeparateBase"]
+        print(
+            f"\nEquiNox EDP: {100 * (1 - eq):.1f}% below SingleBase, "
+            f"{100 * (1 - eq / sep):.1f}% below SeparateBase "
+            f"(paper: 55.0% / 32.8% on the full 29-benchmark suite)"
+        )
+
+    print("\nTiming")
+    print(report.summary())
 
 
 if __name__ == "__main__":

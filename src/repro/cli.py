@@ -92,7 +92,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     schemes = args.schemes or SCHEME_ORDER
     benchmarks = args.benchmarks or ["gaussian", "hotspot", "kmeans"]
     results = run_suite(schemes, benchmarks, _experiment_config(args),
-                        progress=True)
+                        progress=True, jobs=args.jobs)
     for metric, label in (("cycles", "Execution time"),
                           ("energy_nj", "Energy"), ("edp", "EDP")):
         rows = []
@@ -175,6 +175,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--benchmarks", nargs="*")
     p_sweep.add_argument("--quota", type=int, default=60)
     p_sweep.add_argument("--iterations", type=int, default=100)
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep grid "
+                              "(default 1 = serial)")
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fig = sub.add_parser("figure", help="regenerate a light paper figure")

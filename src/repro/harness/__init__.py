@@ -1,6 +1,6 @@
 """Experiment harness: per-figure regeneration of the paper's evaluation."""
 
-from . import cache, figures
+from . import cache, figures, runner
 from .experiment import (
     ExperimentConfig,
     build_fabric,
@@ -17,10 +17,19 @@ from .metrics import (
     normalize,
     reduction_percent,
 )
+from .runner import (
+    CellOutcome,
+    SweepCell,
+    SweepReport,
+    expand_grid,
+    run_sweep,
+    sweep,
+)
 
 __all__ = [
     "cache",
     "figures",
+    "runner",
     "ExperimentConfig",
     "build_fabric",
     "default_config",
@@ -33,4 +42,10 @@ __all__ = [
     "mean",
     "normalize",
     "reduction_percent",
+    "CellOutcome",
+    "SweepCell",
+    "SweepReport",
+    "expand_grid",
+    "run_sweep",
+    "sweep",
 ]

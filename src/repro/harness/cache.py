@@ -1,24 +1,108 @@
-"""Process-level memoisation of expensive design artefacts.
+"""Two-tier memoisation of expensive design artefacts.
 
 The EquiNox design flow (N-Queen scoring + MCTS) is deterministic for a
-given configuration, so a single process — e.g. the benchmark suite
-running all of Figure 9 — computes each design once and reuses it for
-every benchmark.
+given configuration, so each artefact needs computing exactly once:
+
+* **Tier 1** — a per-process dict, as before: a single process (e.g.
+  the benchmark suite running all of Figure 9) reuses one design object
+  for every benchmark.
+* **Tier 2** — an on-disk JSON store shared across processes, so the
+  parallel sweep runner's workers, repeated pytest invocations and CLI
+  calls all reuse one MCTS/N-Queen run instead of redoing it.
+
+Disk entries are keyed by a content hash of the full parameter set plus
+the code version (package version and design-format version), so any
+release that could change the artefacts invalidates the store
+automatically.  The store lives under ``$REPRO_CACHE_DIR`` when set
+(the empty string or ``off`` disables the disk tier entirely),
+otherwise ``$XDG_CACHE_HOME/repro-equinox`` or ``~/.cache/repro-equinox``.
+Corrupt or stale entries are ignored and recomputed, never trusted.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from ..core.equinox import EquiNoxDesign, design_equinox
 from ..core.grid import Grid
 from ..core.mcts import SearchConfig
 from ..core.placement import PlacementResult, by_name
+from ..core.serialize import FORMAT_VERSION, design_from_dict, design_to_dict
 
 _DESIGNS: Dict[Tuple, EquiNoxDesign] = {}
 _PLACEMENTS: Dict[Tuple, PlacementResult] = {}
 
 
+# ----------------------------------------------------------------------
+# Disk tier
+# ----------------------------------------------------------------------
+def cache_dir() -> Optional[Path]:
+    """The on-disk store location, or ``None`` when disabled.
+
+    Resolution order: ``$REPRO_CACHE_DIR`` (empty/``off``/``0``/``none``
+    disables the disk tier), then ``$XDG_CACHE_HOME/repro-equinox``,
+    then ``~/.cache/repro-equinox``.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env is not None:
+        if not env or env.strip().lower() in ("0", "off", "none", "disabled"):
+            return None
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro-equinox"
+
+
+def _code_version() -> str:
+    from .. import __version__
+
+    return f"{__version__}+fmt{FORMAT_VERSION}"
+
+
+def _entry_path(kind: str, params: Dict) -> Optional[Path]:
+    root = cache_dir()
+    if root is None:
+        return None
+    payload = dict(params, kind=kind, code=_code_version())
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()[:24]
+    return root / f"{kind}-{digest}.json"
+
+
+def _disk_read(path: Optional[Path]) -> Optional[Dict]:
+    if path is None:
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def _disk_write(path: Optional[Path], data: Dict) -> None:
+    """Atomically persist ``data`` (concurrent workers may race here)."""
+    if path is None:
+        return
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+        with os.fdopen(fd, "w") as handle:
+            json.dump(data, handle)
+        os.replace(tmp, path)
+    except OSError:
+        return  # a read-only store degrades to tier 1, never fails a run
+
+
+# ----------------------------------------------------------------------
+# Cached artefacts
+# ----------------------------------------------------------------------
 def equinox_design(
     width: int,
     num_cbs: int = 8,
@@ -27,24 +111,77 @@ def equinox_design(
 ) -> EquiNoxDesign:
     """The (cached) EquiNox design for one network size."""
     key = (width, num_cbs, iterations_per_level, seed)
-    if key not in _DESIGNS:
-        _DESIGNS[key] = design_equinox(
+    design = _DESIGNS.get(key)
+    if design is not None:
+        return design
+    path = _entry_path(
+        "design",
+        {
+            "width": width,
+            "num_cbs": num_cbs,
+            "iterations_per_level": iterations_per_level,
+            "seed": seed,
+        },
+    )
+    data = _disk_read(path)
+    if data is not None:
+        try:
+            design = design_from_dict(data, strict=True)
+        except (ValueError, KeyError, TypeError):
+            design = None  # corrupt/stale entry: fall through and redo
+    if design is None:
+        design = design_equinox(
             width,
             num_cbs,
             SearchConfig(iterations_per_level=iterations_per_level, seed=seed),
         )
-    return _DESIGNS[key]
+        _disk_write(path, design_to_dict(design))
+    _DESIGNS[key] = design
+    return design
 
 
 def placement(name: str, width: int, num_cbs: int = 8) -> PlacementResult:
     """The (cached) named placement for one network size."""
     key = (name, width, num_cbs)
-    if key not in _PLACEMENTS:
-        _PLACEMENTS[key] = by_name(name, Grid(width), num_cbs)
-    return _PLACEMENTS[key]
+    result = _PLACEMENTS.get(key)
+    if result is not None:
+        return result
+    path = _entry_path(
+        "placement", {"name": name, "width": width, "num_cbs": num_cbs}
+    )
+    data = _disk_read(path)
+    if data is not None:
+        try:
+            result = PlacementResult(
+                name=data["name"],
+                nodes=tuple(data["nodes"]),
+                penalty=data["penalty"],
+            )
+        except (KeyError, TypeError):
+            result = None
+    if result is None:
+        result = by_name(name, Grid(width), num_cbs)
+        _disk_write(
+            path,
+            {
+                "name": result.name,
+                "nodes": list(result.nodes),
+                "penalty": result.penalty,
+            },
+        )
+    _PLACEMENTS[key] = result
+    return result
 
 
-def clear() -> None:
-    """Drop all cached artefacts (used by tests)."""
+def clear(disk: bool = False) -> None:
+    """Drop cached artefacts: always tier 1, plus the store if ``disk``."""
     _DESIGNS.clear()
     _PLACEMENTS.clear()
+    if disk:
+        root = cache_dir()
+        if root is not None and root.is_dir():
+            for entry in root.glob("*.json"):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass

@@ -8,6 +8,7 @@ figure generators consume.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -146,6 +147,9 @@ def run_with_fabric(
     result = system.run()
     energy = fabric_energy(fabric, result.cycles)
     area = fabric_area(fabric)
+    digest = hashlib.sha256()
+    for net, _ratio, _role in fabric.networks:
+        digest.update(net.stats.fingerprint().encode())
     return ExperimentResult(
         scheme=scheme_name or fabric.config.name,
         benchmark=benchmark_name,
@@ -158,6 +162,7 @@ def run_with_fabric(
         reply_bits_fraction=_reply_bits_fraction(fabric),
         pe_stall_cycles=result.pe_stall_cycles,
         cb_stall_cycles=result.cb_stall_cycles,
+        stats_fingerprint=digest.hexdigest(),
     )
 
 
@@ -177,15 +182,24 @@ def run_suite(
     benchmarks: List[str],
     config: Optional[ExperimentConfig] = None,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
-    """Run a scheme x benchmark grid sequentially."""
-    config = config or ExperimentConfig()
-    results: Dict[Tuple[str, str], ExperimentResult] = {}
-    for scheme in schemes:
-        for benchmark in benchmarks:
-            if progress:
-                print(f"[harness] {scheme} x {benchmark} ...", flush=True)
-            results[(scheme, benchmark)] = run_experiment(
-                scheme, benchmark, config
-            )
-    return results
+    """Run a scheme x benchmark grid; ``jobs > 1`` fans out across cores.
+
+    Thin wrapper over :mod:`~repro.harness.runner` preserving the
+    classic mapping-shaped return value.  Unlike the runner's graceful
+    per-cell error capture, a failed cell here raises, because callers
+    index the mapping unconditionally.
+    """
+    from .runner import expand_grid, run_sweep
+
+    cells = expand_grid(schemes, benchmarks, config)
+    report = run_sweep(cells, jobs=jobs, progress=progress)
+    errors = report.errors()
+    if errors:
+        (scheme, benchmark), trace = next(iter(errors.items()))
+        raise RuntimeError(
+            f"{len(errors)} sweep cell(s) failed; first: "
+            f"{scheme} x {benchmark}\n{trace}"
+        )
+    return report.results()

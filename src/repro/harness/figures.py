@@ -234,12 +234,14 @@ def figure9(
     schemes: Optional[Sequence[str]] = None,
     benchmarks: Optional[Sequence[str]] = None,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Figure9:
     """Run the scheme x benchmark grid behind Figures 9 and 10."""
     config = config or ExperimentConfig()
     schemes = list(schemes or SCHEME_ORDER)
     benchmarks = list(benchmarks or profiles.names())
-    results = run_suite(schemes, benchmarks, config, progress=progress)
+    results = run_suite(schemes, benchmarks, config, progress=progress,
+                        jobs=jobs)
     return Figure9(schemes=schemes, benchmarks=benchmarks, results=results)
 
 

@@ -43,6 +43,9 @@ class ExperimentResult:
     reply_bits_fraction: float
     pe_stall_cycles: int = 0
     cb_stall_cycles: int = 0
+    # sha256 over every network's full counter snapshot; two runs of the
+    # same (seed, config) must agree bit-for-bit (determinism tests).
+    stats_fingerprint: str = ""
 
     @property
     def ipc(self) -> float:

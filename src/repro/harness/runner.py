@@ -1,0 +1,279 @@
+"""Parallel experiment execution: fan a sweep grid out across cores.
+
+Every ``(scheme, benchmark, config)`` cell of a sweep is an independent
+deterministic simulation, which makes the grid embarrassingly parallel:
+
+* :func:`expand_grid` turns a scheme x benchmark grid into an explicit
+  list of :class:`SweepCell` jobs, each carrying its own fully-resolved
+  :class:`~repro.harness.experiment.ExperimentConfig` (including its
+  seed), so a cell's outcome never depends on worker scheduling;
+* :func:`run_sweep` executes the cells — serially for ``jobs<=1``,
+  otherwise on a ``ProcessPoolExecutor`` — recording per-cell timing
+  and keeping the sweep alive when a cell fails (the error text is
+  captured in its :class:`CellOutcome` instead of aborting the batch);
+* :func:`warm_design_cache` precomputes each distinct MCTS/N-Queen
+  artefact once in the parent before forking, so workers load it from
+  the disk tier of :mod:`~repro.harness.cache` instead of redoing the
+  search per process.
+
+Determinism contract: for a fixed ``(seed, config)``, serial and
+parallel execution (and cold vs warm disk cache) produce bit-identical
+results — the determinism tests compare ``stats_fingerprint`` digests
+across all four combinations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..schemes import get_config
+from . import cache
+from .experiment import ExperimentConfig, run_experiment
+from .metrics import ExperimentResult, format_table
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent unit of sweep work."""
+
+    scheme: str
+    benchmark: str
+    config: ExperimentConfig
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.scheme, self.benchmark)
+
+    @property
+    def label(self) -> str:
+        return f"{self.scheme} x {self.benchmark}"
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: its result or its error, plus timing."""
+
+    cell: SweepCell
+    result: Optional[ExperimentResult]
+    error: Optional[str]
+    duration_s: float
+    pid: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class SweepReport:
+    """All cell outcomes of one sweep, in grid order."""
+
+    outcomes: List[CellOutcome]
+    wall_s: float
+    jobs: int
+
+    def results(self) -> Dict[Tuple[str, str], ExperimentResult]:
+        """Successful cells as the classic ``run_suite`` mapping."""
+        return {o.cell.key: o.result for o in self.outcomes if o.ok}
+
+    def errors(self) -> Dict[Tuple[str, str], str]:
+        """Failed cells and their captured tracebacks."""
+        return {o.cell.key: o.error for o in self.outcomes if not o.ok}
+
+    @property
+    def cell_seconds(self) -> float:
+        """Total single-core work: sum of per-cell durations."""
+        return sum(o.duration_s for o in self.outcomes)
+
+    @property
+    def speedup(self) -> float:
+        """Aggregate work time over wall time (1.0 when serial)."""
+        return self.cell_seconds / self.wall_s if self.wall_s else 0.0
+
+    def summary(self, slowest: int = 5) -> str:
+        """A human-readable timing summary (slowest cells first)."""
+        ranked = sorted(
+            self.outcomes, key=lambda o: o.duration_s, reverse=True
+        )
+        rows = [
+            (
+                o.cell.label,
+                o.duration_s,
+                "ok" if o.ok else "FAILED",
+            )
+            for o in ranked[:slowest]
+        ]
+        lines = [
+            f"{len(self.outcomes)} cells, {len(self.errors())} failed, "
+            f"jobs={self.jobs}: {self.cell_seconds:.1f}s of work in "
+            f"{self.wall_s:.1f}s wall ({self.speedup:.2f}x)",
+            format_table(("Cell", "Seconds", "Status"), rows),
+        ]
+        return "\n".join(lines)
+
+
+def cell_seed(base_seed: int, scheme: str, benchmark: str) -> int:
+    """A deterministic per-cell seed, independent of grid order.
+
+    Derived by hashing rather than by enumeration index so inserting or
+    removing cells never shifts any other cell's seed.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{scheme}:{benchmark}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+def expand_grid(
+    schemes: Sequence[str],
+    benchmarks: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    reseed_cells: bool = False,
+) -> List[SweepCell]:
+    """Materialise a scheme x benchmark grid as sweep cells.
+
+    With ``reseed_cells`` every cell gets its own :func:`cell_seed`
+    (decorrelated workloads); by default all cells share the base seed,
+    matching the historical serial ``run_suite`` behaviour exactly.
+    """
+    config = config or ExperimentConfig()
+    cells: List[SweepCell] = []
+    for scheme in schemes:
+        for benchmark in benchmarks:
+            cfg = config
+            if reseed_cells:
+                cfg = replace(
+                    config, seed=cell_seed(config.seed, scheme, benchmark)
+                )
+            cells.append(SweepCell(scheme, benchmark, cfg))
+    return cells
+
+
+def _run_cell(cell: SweepCell) -> CellOutcome:
+    """Execute one cell, converting any failure into data."""
+    start = time.perf_counter()
+    result: Optional[ExperimentResult] = None
+    error: Optional[str] = None
+    try:
+        result = run_experiment(cell.scheme, cell.benchmark, cell.config)
+    except Exception:
+        error = traceback.format_exc()
+    return CellOutcome(
+        cell=cell,
+        result=result,
+        error=error,
+        duration_s=time.perf_counter() - start,
+        pid=os.getpid(),
+    )
+
+
+def warm_design_cache(cells: Sequence[SweepCell]) -> None:
+    """Compute each distinct design artefact once, before forking.
+
+    Without this every worker would rediscover a cold cache and rerun
+    the same MCTS search; after it, workers hit the disk tier (or, when
+    forked, inherit the in-memory tier directly).
+    """
+    seen = set()
+    for cell in cells:
+        scheme = get_config(cell.scheme)
+        cfg = cell.config
+        if scheme.equinox:
+            key = ("design", cfg.width, cfg.num_cbs,
+                   cfg.mcts_iterations, cfg.seed)
+            if key not in seen:
+                cache.equinox_design(
+                    cfg.width,
+                    cfg.num_cbs,
+                    iterations_per_level=cfg.mcts_iterations,
+                    seed=cfg.seed,
+                )
+        else:
+            key = ("placement", scheme.placement_name, cfg.width, cfg.num_cbs)
+            if key not in seen:
+                cache.placement(scheme.placement_name, cfg.width, cfg.num_cbs)
+        seen.add(key)
+
+
+def _report_progress(outcome: CellOutcome, done: int, total: int) -> None:
+    status = "ok" if outcome.ok else "FAILED"
+    print(
+        f"[sweep {done}/{total}] {outcome.cell.label}: {status} "
+        f"({outcome.duration_s:.1f}s, pid {outcome.pid})",
+        flush=True,
+    )
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    jobs: int = 1,
+    progress: bool = False,
+    warm: bool = True,
+) -> SweepReport:
+    """Run sweep cells, optionally across ``jobs`` worker processes.
+
+    A failed cell never aborts the sweep: its traceback is recorded in
+    the report and the remaining cells keep running.  If the process
+    pool cannot be created or breaks (restricted sandboxes, OOM kills),
+    the unfinished cells transparently fall back to serial execution.
+    """
+    cells = list(cells)
+    start = time.perf_counter()
+    total = len(cells)
+    outcomes: List[Optional[CellOutcome]] = [None] * total
+    done = 0
+    jobs = max(1, jobs)
+    if jobs > 1 and total > 1:
+        if warm:
+            warm_design_cache(cells)
+        try:
+            with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+                futures = {
+                    pool.submit(_run_cell, cell): index
+                    for index, cell in enumerate(cells)
+                }
+                for future in as_completed(futures):
+                    outcome = future.result()
+                    outcomes[futures[future]] = outcome
+                    done += 1
+                    if progress:
+                        _report_progress(outcome, done, total)
+        except (OSError, BrokenProcessPool) as exc:
+            if progress:
+                print(
+                    f"[sweep] process pool unavailable ({exc!r}); "
+                    "finishing serially",
+                    flush=True,
+                )
+    for index, cell in enumerate(cells):  # serial path and pool fallback
+        if outcomes[index] is None:
+            outcome = _run_cell(cell)
+            outcomes[index] = outcome
+            done += 1
+            if progress:
+                _report_progress(outcome, done, total)
+    return SweepReport(
+        outcomes=outcomes,
+        wall_s=time.perf_counter() - start,
+        jobs=jobs,
+    )
+
+
+def sweep(
+    schemes: Sequence[str],
+    benchmarks: Sequence[str],
+    config: Optional[ExperimentConfig] = None,
+    jobs: int = 1,
+    progress: bool = False,
+    reseed_cells: bool = False,
+) -> SweepReport:
+    """Grid convenience wrapper: :func:`expand_grid` + :func:`run_sweep`."""
+    cells = expand_grid(schemes, benchmarks, config, reseed_cells)
+    return run_sweep(cells, jobs=jobs, progress=progress)

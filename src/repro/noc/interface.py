@@ -184,6 +184,15 @@ class NetworkInterface:
         packet.created = self.network.cycle
         self.source_queue.append(packet)
 
+    def has_work(self) -> bool:
+        """Whether ticking this NI this cycle could have any effect."""
+        if self.source_queue:
+            return True
+        for buf in self.buffers:
+            if buf.flits:
+                return True
+        return False
+
     def tick(self, cycle: int) -> None:
         self._assign(cycle)
         for buf in self.buffers:
@@ -276,7 +285,10 @@ class EquiNoxInterface(NetworkInterface):
                 continue
             eirs = shortest_path_eirs(grid, design, node, dst)
             self._choices[dst] = tuple(self._eir_buffer[e] for e in eirs)
-        self._rr = 0
+        # One round-robin pointer per candidate set.  A single pointer
+        # advanced modulo the transient free-list length biases EIR
+        # choice whenever candidate sets differ per destination.
+        self._rr: Dict[Tuple[int, ...], int] = {}
 
     def _assign(self, cycle: int) -> None:
         # Head-of-line policy: the NI core processes one packet at a
@@ -296,9 +308,19 @@ class EquiNoxInterface(NetworkInterface):
         free = [i for i in candidates if self.buffers[i].free]
         if free:
             if len(free) == 1:
-                return free[0]
-            self._rr = (self._rr + 1) % len(free)
-            return free[self._rr]
+                chosen = free[0]
+            else:
+                # Rotate over the (stable) candidate tuple, not the
+                # transient free list, so ties split evenly per set.
+                start = self._rr.get(candidates, 0)
+                n = len(candidates)
+                chosen = min(
+                    free, key=lambda i: (candidates.index(i) - start) % n
+                )
+            self._rr[candidates] = (
+                (candidates.index(chosen) + 1) % len(candidates)
+            )
+            return chosen
         if self.buffers[0].free:
             return 0
         return None

@@ -89,6 +89,9 @@ class Network:
         # (node, eject_port) -> deque of (packet, eject OutputPort).
         self.receive_queues: Dict[Tuple[int, int], Deque[Tuple[Packet, OutputPort]]] = {}
         self._pop_rr: Dict[int, int] = {}  # per-node eject-port rotation
+        # Delivered packets queued per node (all eject ports): lets
+        # pop_delivered return immediately for the common empty case.
+        self._delivered: Dict[int, int] = {}
         self.last_progress = 0  # cycle of the most recent committed move
 
     def _wire_mesh(self) -> None:
@@ -109,11 +112,9 @@ class Network:
 
     def add_eject_port(self, node: int, capacity: Optional[int] = None) -> int:
         """Add an extra ejection port (MultiPort / concentration)."""
-        router = self.routers[node]
-        port = 1 + max(max(router.inputs), max(router.outputs))
-        router.outputs[port] = OutputPort(1, capacity or self.vc_capacity * 2)
-        router.eject_ports.append(port)
-        return port
+        return self.routers[node].add_eject_port(
+            capacity or self.vc_capacity * 2
+        )
 
     def register_ni(self, ni: "object") -> None:
         self.nis.append(ni)
@@ -139,19 +140,29 @@ class Network:
         (concentrated meshes dedicate a port per attached tile);
         otherwise the node's ejection ports are scanned round-robin.
         """
+        if not self._delivered.get(node):
+            return None
+        rotate = False
         if port is not None:
             ports = [port]
         else:
             ports = self.routers[node].eject_ports
             if len(ports) > 1:
+                rotate = True
                 start = self._pop_rr.get(node, 0)
                 ports = ports[start:] + ports[:start]
-                self._pop_rr[node] = (start + 1) % len(ports)
-        for p in ports:
+        for k, p in enumerate(ports):
             queue = self.receive_queues.get((node, p))
             if queue:
                 packet, eject_port = queue.popleft()
                 eject_port.credits[0] += packet.size
+                self._delivered[node] -= 1
+                if rotate:
+                    # Advance past the port that actually served, and
+                    # only on a successful pop — rotating on empty scans
+                    # (or by a fixed step) starves later ports whenever
+                    # load is asymmetric across eject ports.
+                    self._pop_rr[node] = (start + k + 1) % len(ports)
                 return packet
         return None
 
@@ -176,7 +187,11 @@ class Network:
                 self.active.add(node)
 
         for ni in self.nis:
-            ni.tick(cycle)
+            # An NI with no queued packets and empty buffers cannot do
+            # anything this cycle; skipping it keeps the per-cycle cost
+            # proportional to actual traffic, not to NI count.
+            if ni.has_work():
+                ni.tick(cycle)
 
         finished: List[int] = []
         for node in self.active:
@@ -230,6 +245,7 @@ class Network:
         self.receive_queues.setdefault((node, eject_port), deque()).append(
             (packet, packet.eject_port)
         )
+        self._delivered[node] = self._delivered.get(node, 0) + 1
         inject = packet.inject_router if packet.inject_router is not None else packet.src
         hops = self.grid.hops(inject, node)
         # Zero-load pipeline: 1 cycle NI link + 1 cycle per hop + 1 cycle

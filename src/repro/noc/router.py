@@ -90,6 +90,9 @@ class Router:
         "input_ports",
         "rr_in",
         "flit_count",
+        "port_flits",
+        "rr_mod",
+        "_vc_orders",
         "routing_algorithm",
         "vc_classes",
         "monopolize",
@@ -140,6 +143,19 @@ class Router:
         self.input_ports: List[int] = list(range(routing.NUM_MESH_PORTS))
         self.rr_in: Dict[int, int] = {p: 0 for p in self.input_ports}
         self.flit_count = 0
+        # Flits buffered per input port: lets the tick loop skip empty
+        # ports without scanning their VCs.
+        self.port_flits: Dict[int, int] = {p: 0 for p in self.input_ports}
+        # Round-robin modulus: one slot per port index actually in use.
+        # Must cover injection/interposer ports added later — a fixed
+        # modulus would alias high port indices and break fairness.
+        self.rr_mod = 1 + max(max(self.inputs), max(self.outputs))
+        # _vc_orders[s] is the VC scan order starting at pointer s;
+        # precomputing it keeps the per-cycle loop free of modulo math.
+        self._vc_orders = [
+            tuple((s + k) % num_vcs for k in range(num_vcs))
+            for s in range(num_vcs)
+        ]
         # Optional hook restricting which eject ports a packet may use
         # (concentrated meshes dedicate one port per attached tile).
         self.eject_filter = None
@@ -157,6 +173,16 @@ class Router:
         self.inputs[port] = [InputVC() for _ in range(self.num_vcs)]
         self.input_ports.append(port)
         self.rr_in[port] = 0
+        self.port_flits[port] = 0
+        self.rr_mod = max(self.rr_mod, port + 1)
+        return port
+
+    def add_eject_port(self, capacity: int) -> int:
+        """Add an extra ejection port (MultiPort / concentration)."""
+        port = 1 + max(max(self.inputs), max(self.outputs))
+        self.outputs[port] = OutputPort(1, capacity)
+        self.eject_ports.append(port)
+        self.rr_mod = max(self.rr_mod, port + 1)
         return port
 
     def disconnected_mesh_ports(self) -> List[int]:
@@ -172,6 +198,7 @@ class Router:
         flit.buffered_at = cycle
         self.inputs[port][vc].queue.append(flit)
         self.flit_count += 1
+        self.port_flits[port] += 1
 
     # ------------------------------------------------------------------
     # One cycle
@@ -184,12 +211,17 @@ class Router:
         """
         # --- Per-input-port arbitration (separable, input first) -----
         requests: List[Tuple[int, int, int, int]] = []  # in_port, in_vc, out_port, out_vc
+        inputs = self.inputs
+        outputs = self.outputs
+        rr_in = self.rr_in
+        num_vcs = self.num_vcs
+        port_flits = self.port_flits
+        vc_orders = self._vc_orders
         for port in self.input_ports:
-            vcs = self.inputs[port]
-            chosen: Optional[Tuple[int, int, int, int]] = None
-            start = self.rr_in[port]
-            for k in range(self.num_vcs):
-                vc = (start + k) % self.num_vcs
+            if not port_flits[port]:
+                continue
+            vcs = inputs[port]
+            for vc in vc_orders[rr_in[port]]:
                 ivc = vcs[vc]
                 if not ivc.queue:
                     continue
@@ -198,36 +230,41 @@ class Router:
                     self._route_and_allocate(port, vc, ivc, flit)
                 if ivc.out_port is None:
                     continue
-                out = self.outputs[ivc.out_port]
-                assert ivc.out_vc is not None
+                out = outputs[ivc.out_port]
                 if out.credits[ivc.out_vc] <= 0:
                     continue
-                chosen = (port, vc, ivc.out_port, ivc.out_vc)
+                requests.append((port, vc, ivc.out_port, ivc.out_vc))
                 break
-            if chosen is not None:
-                requests.append(chosen)
         if not requests:
-            return []
+            return requests
 
         # --- Per-output-port arbitration ------------------------------
-        by_output: Dict[int, List[Tuple[int, int, int, int]]] = {}
-        for req in requests:
-            by_output.setdefault(req[2], []).append(req)
+        if len(requests) == 1:
+            winners = requests
+        else:
+            by_output: Dict[int, List[Tuple[int, int, int, int]]] = {}
+            for req in requests:
+                by_output.setdefault(req[2], []).append(req)
+            winners = []
+            rr_mod = self.rr_mod
+            for out_port, reqs in by_output.items():
+                if len(reqs) == 1:
+                    winners.append(reqs[0])
+                else:
+                    rr = outputs[out_port].rr
+                    winners.append(
+                        min(reqs, key=lambda r: (r[0] - rr) % rr_mod)
+                    )
         moves: List[Tuple[int, int, int, int, Flit]] = []
-        for out_port, reqs in by_output.items():
-            out = self.outputs[out_port]
-            if len(reqs) == 1:
-                winner = reqs[0]
-            else:
-                reqs.sort(key=lambda r: (r[0] - out.rr) % 16)
-                winner = reqs[0]
-            in_port, in_vc, _, out_vc = winner
-            ivc = self.inputs[in_port][in_vc]
+        for in_port, in_vc, out_port, out_vc in winners:
+            out = outputs[out_port]
+            ivc = inputs[in_port][in_vc]
             flit = ivc.queue.popleft()
             self.flit_count -= 1
+            port_flits[in_port] -= 1
             out.credits[out_vc] -= 1
-            out.rr = (in_port + 1) % 16
-            self.rr_in[in_port] = (in_vc + 1) % self.num_vcs
+            out.rr = (in_port + 1) % self.rr_mod
+            rr_in[in_port] = (in_vc + 1) % num_vcs
             if flit.is_tail:
                 out.owner[out_vc] = None
                 ivc.out_port = None

@@ -13,7 +13,7 @@ network dedicate its two VCs to the request/reply protocol classes.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.grid import Grid
 
@@ -95,12 +95,30 @@ def odd_even_routes(grid: Grid, cur: int, src: int, dst: int) -> List[int]:
     return avail
 
 
+_ROUTE_CACHE: Dict[Tuple[int, int, str, int, int, int], Tuple[int, ...]] = {}
+_ROUTE_CACHE_LIMIT = 1 << 20
+
+
 def route_candidates(
     grid: Grid, algorithm: str, cur: int, src: int, dst: int
-) -> List[int]:
-    """Dispatch to the configured routing algorithm."""
+) -> Sequence[int]:
+    """Dispatch to the configured routing algorithm.
+
+    Both algorithms are pure functions of the grid shape and the three
+    node ids, and the router hot loop asks the same questions millions
+    of times per run, so results are memoised as immutable tuples.
+    """
+    key = (grid.width, grid.height, algorithm, cur, src, dst)
+    cached = _ROUTE_CACHE.get(key)
+    if cached is not None:
+        return cached
     if algorithm == "xy":
-        return xy_route(grid, cur, dst)
-    if algorithm == "oddeven":
-        return odd_even_routes(grid, cur, src, dst)
-    raise ValueError(f"unknown routing algorithm {algorithm!r}")
+        out = tuple(xy_route(grid, cur, dst))
+    elif algorithm == "oddeven":
+        out = tuple(odd_even_routes(grid, cur, src, dst))
+    else:
+        raise ValueError(f"unknown routing algorithm {algorithm!r}")
+    if len(_ROUTE_CACHE) >= _ROUTE_CACHE_LIMIT:
+        _ROUTE_CACHE.clear()
+    _ROUTE_CACHE[key] = out
+    return out

@@ -9,6 +9,8 @@ it, including time spent waiting in the NI source queue).
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -121,6 +123,39 @@ class NetworkStats:
             out[f"{label}_queuing"] = queuing / count if count else 0.0
             out[f"{label}_non_queuing"] = nonq / count if count else 0.0
         return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """Every counter as plain data, for fingerprinting and tests.
+
+        Two runs of the same (seed, config) must produce bit-identical
+        snapshots regardless of process boundaries or cache state; the
+        determinism tests and the parallel runner rely on this.
+        """
+        return {
+            "cycles": self.cycles,
+            "buffer_writes": self.buffer_writes,
+            "buffer_reads": self.buffer_reads,
+            "xbar_traversals": self.xbar_traversals,
+            "vc_allocs": self.vc_allocs,
+            "link_hops_onchip": self.link_hops_onchip,
+            "link_hops_interposer": self.link_hops_interposer,
+            "interposer_hop_length": self.interposer_hop_length,
+            "flits_injected": self.flits_injected,
+            "flits_ejected": self.flits_ejected,
+            "packets_delivered": self.packets_delivered,
+            "bits_delivered": self.bits_delivered,
+            "residence_cycles": self.residence_cycles.tolist(),
+            "residence_count": self.residence_count.tolist(),
+            "latency": {
+                t.name: (acc.count, acc.total, acc.queuing, acc.non_queuing)
+                for t, acc in sorted(self.latency.items())
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """A stable hash of :meth:`snapshot` (hex digest)."""
+        payload = json.dumps(self.snapshot(), sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()
 
     def merge(self, other: "NetworkStats") -> None:
         """Fold another network's counters into this one (DA2Mesh subnets)."""

@@ -3,9 +3,29 @@
 Registers a deterministic hypothesis profile so property tests shrink
 and replay identically across machines, and keeps example budgets small
 enough for the suite to finish in a couple of minutes.
+
+The design-artefact disk cache is redirected to a per-session temporary
+directory so test runs neither read from nor pollute the user's real
+cache (individual tests may still override ``REPRO_CACHE_DIR``).
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_disk_cache(tmp_path_factory):
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(
+        tmp_path_factory.mktemp("repro-cache")
+    )
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 settings.register_profile(
     "repro",

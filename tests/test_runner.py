@@ -1,0 +1,174 @@
+"""Tests for the parallel sweep runner and the two-tier design cache.
+
+The determinism contract is the load-bearing property: an identical
+``(seed, config)`` run must produce bit-identical ``NetworkStats``
+counters whether it executes serially or in worker processes, and
+whether the design cache is cold or warmed from disk.
+"""
+
+import json
+
+import pytest
+
+from repro.harness import cache
+from repro.harness.experiment import ExperimentConfig, run_suite
+from repro.harness.runner import (
+    SweepCell,
+    cell_seed,
+    expand_grid,
+    run_sweep,
+    sweep,
+    warm_design_cache,
+)
+
+CFG = ExperimentConfig(quota=8, mcts_iterations=10)
+
+
+class TestGrid:
+    def test_expand_grid_order_and_config(self):
+        cells = expand_grid(["A", "B"], ["x", "y"], CFG)
+        assert [c.key for c in cells] == [
+            ("A", "x"), ("A", "y"), ("B", "x"), ("B", "y")
+        ]
+        assert all(c.config is CFG for c in cells)
+
+    def test_cell_seed_deterministic_and_distinct(self):
+        a = cell_seed(0, "EquiNox", "kmeans")
+        assert a == cell_seed(0, "EquiNox", "kmeans")
+        assert a != cell_seed(1, "EquiNox", "kmeans")
+        assert a != cell_seed(0, "EquiNox", "bfs")
+        assert a != cell_seed(0, "SingleBase", "kmeans")
+
+    def test_reseed_cells_derives_per_cell_seeds(self):
+        cells = expand_grid(["A"], ["x", "y"], CFG, reseed_cells=True)
+        assert cells[0].config.seed == cell_seed(CFG.seed, "A", "x")
+        assert cells[1].config.seed == cell_seed(CFG.seed, "A", "y")
+        assert cells[0].config.seed != cells[1].config.seed
+        assert cells[0].config.quota == CFG.quota
+
+
+class TestRunSweep:
+    def test_serial_records_timing_and_results(self):
+        report = run_sweep(
+            expand_grid(["SingleBase"], ["hotspot"], CFG), jobs=1
+        )
+        assert report.jobs == 1
+        outcome = report.outcomes[0]
+        assert outcome.ok
+        assert outcome.duration_s > 0
+        assert outcome.result.cycles > 0
+        assert report.results()[("SingleBase", "hotspot")] is outcome.result
+        assert "1 cells" in report.summary()
+
+    def test_failed_cell_keeps_sweep_alive(self):
+        cells = [
+            SweepCell("SingleBase", "no-such-benchmark", CFG),
+            SweepCell("SingleBase", "hotspot", CFG),
+        ]
+        report = run_sweep(cells, jobs=1)
+        errors = report.errors()
+        assert set(errors) == {("SingleBase", "no-such-benchmark")}
+        assert "Traceback" in errors[("SingleBase", "no-such-benchmark")]
+        assert ("SingleBase", "hotspot") in report.results()
+
+    def test_run_suite_raises_on_failed_cell(self):
+        with pytest.raises(RuntimeError, match="no-such-benchmark"):
+            run_suite(["SingleBase"], ["no-such-benchmark"], CFG)
+
+    def test_run_suite_matches_runner(self):
+        suite = run_suite(["SingleBase"], ["hotspot"], CFG)
+        report = sweep(["SingleBase"], ["hotspot"], CFG)
+        key = ("SingleBase", "hotspot")
+        assert suite[key].stats_fingerprint == (
+            report.results()[key].stats_fingerprint
+        )
+
+
+class TestDeterminism:
+    SCHEMES = ["SingleBase", "EquiNox"]
+    BENCHMARKS = ["hotspot"]
+
+    def test_serial_parallel_and_cache_tiers_bit_identical(self, tmp_path,
+                                                           monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        serial = sweep(self.SCHEMES, self.BENCHMARKS, CFG, jobs=1).results()
+        parallel = sweep(self.SCHEMES, self.BENCHMARKS, CFG,
+                         jobs=2).results()
+        cache.clear()  # memory dropped; disk tier stays warm
+        warmed = sweep(self.SCHEMES, self.BENCHMARKS, CFG, jobs=1).results()
+        assert set(serial) == set(parallel) == set(warmed)
+        for key in serial:
+            runs = (serial[key], parallel[key], warmed[key])
+            fingerprints = {r.stats_fingerprint for r in runs}
+            assert len(fingerprints) == 1, key
+            assert len({r.cycles for r in runs}) == 1, key
+            assert len({r.energy_nj for r in runs}) == 1, key
+            assert runs[0].stats_fingerprint  # non-empty digest
+
+
+class TestDiskCache:
+    def test_design_survives_process_cache_clear(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        first = cache.equinox_design(8, 8, iterations_per_level=10, seed=0)
+        stored = list(tmp_path.glob("design-*.json"))
+        assert len(stored) == 1
+        cache.clear()
+        second = cache.equinox_design(8, 8, iterations_per_level=10, seed=0)
+        assert second is not first
+        assert second.eir_design == first.eir_design
+
+    def test_placement_survives_process_cache_clear(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        first = cache.placement("diamond", 8)
+        assert list(tmp_path.glob("placement-*.json"))
+        cache.clear()
+        second = cache.placement("diamond", 8)
+        assert second is not first
+        assert second == first
+
+    def test_corrupt_entry_recomputed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        cache.equinox_design(8, 8, iterations_per_level=10, seed=0)
+        (entry,) = tmp_path.glob("design-*.json")
+        entry.write_text("{not json")
+        cache.clear()
+        design = cache.equinox_design(8, 8, iterations_per_level=10, seed=0)
+        assert design is not None
+        assert json.loads(entry.read_text())["version"] >= 1  # rewritten
+
+    def test_key_includes_parameters(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        cache.equinox_design(8, 8, iterations_per_level=10, seed=0)
+        cache.equinox_design(8, 8, iterations_per_level=10, seed=1)
+        assert len(list(tmp_path.glob("design-*.json"))) == 2
+
+    def test_disk_tier_disabled(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "off")
+        assert cache.cache_dir() is None
+        cache.clear()
+        cache.placement("diamond", 8)  # must not raise without a store
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert cache.cache_dir() == tmp_path
+
+    def test_clear_disk_removes_entries(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        cache.placement("diamond", 8)
+        assert list(tmp_path.glob("*.json"))
+        cache.clear(disk=True)
+        assert not list(tmp_path.glob("*.json"))
+
+    def test_warm_design_cache_covers_grid(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        cells = expand_grid(["SingleBase", "EquiNox"], ["hotspot"], CFG)
+        warm_design_cache(cells)
+        assert list(tmp_path.glob("design-*.json"))
+        assert list(tmp_path.glob("placement-*.json"))

@@ -39,6 +39,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_validation(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--validate", nargs="?", const=1, default=0, type=int,
+        metavar="N",
+        help="run conservation audits every N cycles (bare flag = the "
+             "default interval; same as REPRO_VALIDATE)",
+    )
+    parser.add_argument(
+        "--watchdog-cycles", type=int, default=0, metavar="N",
+        help="stall-watchdog window in base cycles (0 = "
+             "REPRO_WATCHDOG_CYCLES env or the model default)",
+    )
+
+
 def _cmd_design(args: argparse.Namespace) -> int:
     if args.load:
         design = load_design(args.load)
@@ -64,6 +78,8 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         quota=args.quota,
         seed=args.seed,
         mcts_iterations=args.iterations,
+        validate=getattr(args, "validate", 0),
+        watchdog_cycles=getattr(args, "watchdog_cycles", 0),
     )
 
 
@@ -167,6 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--benchmark", default="kmeans")
     p_run.add_argument("--quota", type=int, default=100)
     p_run.add_argument("--iterations", type=int, default=150)
+    _add_validation(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="scheme x benchmark grid")
@@ -178,6 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep grid "
                               "(default 1 = serial)")
+    _add_validation(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_fig = sub.add_parser("figure", help="regenerate a light paper figure")

@@ -7,8 +7,14 @@ transaction population for latency analysis.
 
 Termination: every PE exhausts its instruction quota and receives all
 replies.  A watchdog raises :class:`SimulationStall` if nothing makes
-progress for a long stretch (a protocol deadlock would otherwise hang
-the harness silently).
+progress for a configurable window (a protocol deadlock would
+otherwise hang the harness silently); the exception carries a full
+diagnostic dump — per-router occupancy, VC owners, NI backlogs, the
+conservation-audit report and the oldest stuck packet's position.
+With validation enabled (``SystemConfig.validate_interval`` /
+``REPRO_VALIDATE``), every network is also audited periodically so a
+credit leak or arbitration bug surfaces as a named violation long
+before the watchdog window elapses.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..mem.hbm import HbmTiming
+from ..noc.diagnostics import Validator, stall_dump, watchdog_cycles_from_env
 from ..schemes.base import Fabric
 from ..workloads.profiles import WorkloadProfile
 from .cachebank import CacheBank
@@ -28,7 +35,11 @@ WATCHDOG_CYCLES = 20000
 
 
 class SimulationStall(RuntimeError):
-    """No progress for ``WATCHDOG_CYCLES`` base cycles."""
+    """No progress for the watchdog window; carries a diagnostic dump."""
+
+    def __init__(self, message: str, dump: str = "") -> None:
+        self.dump = dump
+        super().__init__(f"{message}\n{dump}" if dump else message)
 
 
 @dataclass
@@ -42,6 +53,12 @@ class SystemConfig:
     seed: int = 0
     max_cycles: int = 400000
     timing: Optional[HbmTiming] = None
+    # Conservation-audit interval in base cycles (0 = off).  Audits are
+    # read-only; enabling them must not change simulated behaviour.
+    validate_interval: int = 0
+    # Stall-watchdog window in base cycles (None = REPRO_WATCHDOG_CYCLES
+    # env override, else the WATCHDOG_CYCLES default).
+    watchdog_cycles: Optional[int] = None
 
 
 @dataclass
@@ -115,6 +132,13 @@ class System:
         banks = list(self.banks.values())
         tid = 0
         last_progress_seen = 0
+        watchdog_window = cfg.watchdog_cycles or watchdog_cycles_from_env(
+            WATCHDOG_CYCLES
+        )
+        networks = [net for net, _ratio, _role in self.fabric.networks]
+        validator: Optional[Validator] = None
+        if cfg.validate_interval > 0:
+            validator = Validator(networks, interval=cfg.validate_interval)
         while self.cycle < cfg.max_cycles:
             self.cycle += 1
             cycle = self.cycle
@@ -140,18 +164,28 @@ class System:
             # 3. CBs accept requests, talk to memory, emit replies.
             for bank in banks:
                 bank.tick(cycle)
-            # 4. Termination and watchdog.
+            # 4. Periodic conservation audit (validation mode only).
+            if validator is not None:
+                validator.on_cycle(cycle)
+            # 5. Termination and watchdog.
             if all(pe.done for pe in pes):
                 break
             progress = self.fabric.last_progress()
             if progress > last_progress_seen:
                 last_progress_seen = progress
-            elif cycle - last_progress_seen > WATCHDOG_CYCLES:
+            elif cycle - last_progress_seen > watchdog_window:
                 if not any(
                     not bank.memory.idle() for bank in banks
                 ):
+                    dump = (
+                        validator.dump() if validator is not None
+                        else stall_dump(networks)
+                    )
                     raise SimulationStall(
-                        f"no network progress since cycle {last_progress_seen}"
+                        f"no network progress since base cycle "
+                        f"{last_progress_seen} (watchdog window "
+                        f"{watchdog_window})",
+                        dump=dump,
                     )
                 last_progress_seen = cycle  # memory still working; extend
         return SystemResult(

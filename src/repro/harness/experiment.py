@@ -14,6 +14,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.grid import Grid
 from ..gpu.system import System, SystemConfig
+from ..noc.diagnostics import (
+    resolve_validate_interval,
+    validate_interval_from_env,
+)
 from ..noc.types import PacketType
 from ..power.area import fabric_area
 from ..power.energy import fabric_energy
@@ -36,6 +40,14 @@ class ExperimentConfig:
     seed: int = 0
     mcts_iterations: int = 150
     max_cycles: int = 400000
+    # Conservation-audit interval in base cycles: 0 = off, 1 = the
+    # default interval, N > 1 = every N cycles.  The REPRO_VALIDATE
+    # env var supplies a default when this is 0 (so CI can arm every
+    # worker of a sweep without threading a flag through).
+    validate: int = 0
+    # Stall-watchdog window override (0 = REPRO_WATCHDOG_CYCLES env,
+    # else the model default).
+    watchdog_cycles: int = 0
 
 
 def default_config() -> ExperimentConfig:
@@ -133,6 +145,7 @@ def run_with_fabric(
     """Run a pre-built fabric (used by ablations with custom designs)."""
     config = config or ExperimentConfig()
     profile = profiles.get(benchmark_name)
+    validate = config.validate or validate_interval_from_env()
     system = System(
         fabric,
         profile,
@@ -142,6 +155,8 @@ def run_with_fabric(
             cb_capacity=config.cb_capacity,
             seed=config.seed,
             max_cycles=config.max_cycles,
+            validate_interval=resolve_validate_interval(validate),
+            watchdog_cycles=config.watchdog_cycles or None,
         ),
     )
     result = system.run()

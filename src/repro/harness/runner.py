@@ -65,6 +65,10 @@ class CellOutcome:
     error: Optional[str]
     duration_s: float
     pid: int
+    # Structured diagnostic dump when the failure was a watchdog stall
+    # or a conservation-audit violation (SimulationStall /
+    # NetworkAuditError carry it on their ``dump`` attribute).
+    stall_dump: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -86,6 +90,14 @@ class SweepReport:
     def errors(self) -> Dict[Tuple[str, str], str]:
         """Failed cells and their captured tracebacks."""
         return {o.cell.key: o.error for o in self.outcomes if not o.ok}
+
+    def stall_dumps(self) -> Dict[Tuple[str, str], str]:
+        """Failed cells whose exception carried a diagnostic dump."""
+        return {
+            o.cell.key: o.stall_dump
+            for o in self.outcomes
+            if o.stall_dump is not None
+        }
 
     @property
     def cell_seconds(self) -> float:
@@ -161,16 +173,21 @@ def _run_cell(cell: SweepCell) -> CellOutcome:
     start = time.perf_counter()
     result: Optional[ExperimentResult] = None
     error: Optional[str] = None
+    stall_dump: Optional[str] = None
     try:
         result = run_experiment(cell.scheme, cell.benchmark, cell.config)
-    except Exception:
+    except Exception as exc:
         error = traceback.format_exc()
+        dump = getattr(exc, "dump", None)
+        if isinstance(dump, str) and dump:
+            stall_dump = dump
     return CellOutcome(
         cell=cell,
         result=result,
         error=error,
         duration_s=time.perf_counter() - start,
         pid=os.getpid(),
+        stall_dump=stall_dump,
     )
 
 

@@ -6,12 +6,24 @@ from .interface import (
     MultiPortInterface,
     NetworkInterface,
 )
+from .diagnostics import (
+    Validator,
+    network_dump,
+    oldest_stuck_packet,
+    stall_dump,
+)
 from .network import Network
 from .router import Router
 from .stats import NetworkStats
 from .topology import CmeshEnvelope, CmeshMap, build_cmesh, build_mesh
 from .tracer import HopEvent, PacketTracer
-from .validation import assert_healthy, check_invariants
+from .validation import (
+    AuditReport,
+    NetworkAuditError,
+    assert_healthy,
+    audit_network,
+    check_invariants,
+)
 from .types import (
     CACHE_LINE_BYTES,
     Flit,
@@ -41,6 +53,13 @@ __all__ = [
     "packet_flits",
     "HopEvent",
     "PacketTracer",
+    "AuditReport",
+    "NetworkAuditError",
+    "Validator",
     "assert_healthy",
+    "audit_network",
     "check_invariants",
+    "network_dump",
+    "oldest_stuck_packet",
+    "stall_dump",
 ]

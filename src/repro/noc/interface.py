@@ -111,6 +111,9 @@ class InjectionBuffer:
         if flit.is_head:
             packet.injected = cycle
             packet.inject_router = self.target_node
+            hook = self.network.on_inject
+            if hook is not None:
+                hook(self, flit, cycle)
         if flit.is_tail:
             self.link.owner[self.cur_vc] = None
             self.cur_vc = None
@@ -182,6 +185,7 @@ class NetworkInterface:
     def enqueue(self, packet: Packet) -> None:
         """Accept a packet from the node's core logic."""
         packet.created = self.network.cycle
+        self.network.stats.packets_created += 1
         self.source_queue.append(packet)
 
     def has_work(self) -> bool:

@@ -93,6 +93,10 @@ class Network:
         # pop_delivered return immediately for the common empty case.
         self._delivered: Dict[int, int] = {}
         self.last_progress = 0  # cycle of the most recent committed move
+        # Optional injection hook: called as hook(buffer, flit, cycle)
+        # when an NI buffer sends a head flit.  Tracers attach here; the
+        # disabled path costs one attribute test per head flit.
+        self.on_inject = None
 
     def _wire_mesh(self) -> None:
         for node in self.grid.nodes():
@@ -111,10 +115,17 @@ class Network:
         return self.routers[node].add_input_port()
 
     def add_eject_port(self, node: int, capacity: Optional[int] = None) -> int:
-        """Add an extra ejection port (MultiPort / concentration)."""
-        return self.routers[node].add_eject_port(
-            capacity or self.vc_capacity * 2
-        )
+        """Add an extra ejection port (MultiPort / concentration).
+
+        Defaults to the network's configured ``eject_capacity`` so extra
+        ports match the depth of the ports built at construction time
+        (a ``vc_capacity``-derived default here would silently give
+        concentrated-mesh ports the wrong depth whenever the network
+        was constructed with an explicit ``eject_capacity``).
+        """
+        if capacity is None:
+            capacity = self.eject_capacity
+        return self.routers[node].add_eject_port(capacity)
 
     def register_ni(self, ni: "object") -> None:
         self.nis.append(ni)

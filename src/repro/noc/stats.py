@@ -27,10 +27,17 @@ class LatencyAccumulator:
     total: int = 0
     queuing: int = 0
     non_queuing: int = 0
+    # Samples whose modelled zero-load latency exceeded the measured
+    # total (clamped to keep queuing non-negative).  A non-zero count
+    # means the zero-load model overestimates some path — a bug in the
+    # pipeline model, not in the workload — so tests assert it stays 0.
+    clamped: int = 0
 
     def add(self, total: int, non_queuing: int) -> None:
         self.count += 1
         self.total += total
+        if non_queuing > total:
+            self.clamped += 1
         self.non_queuing += min(non_queuing, total)
         self.queuing += max(total - non_queuing, 0)
 
@@ -63,6 +70,7 @@ class NetworkStats:
         self.interposer_hop_length = 0.0  # sum of traversed lengths (tile units)
         self.flits_injected = 0
         self.flits_ejected = 0
+        self.packets_created = 0
         self.packets_delivered = 0
         self.bits_delivered = 0
         # Heat map: per-router flit residence.
@@ -142,12 +150,14 @@ class NetworkStats:
             "interposer_hop_length": self.interposer_hop_length,
             "flits_injected": self.flits_injected,
             "flits_ejected": self.flits_ejected,
+            "packets_created": self.packets_created,
             "packets_delivered": self.packets_delivered,
             "bits_delivered": self.bits_delivered,
             "residence_cycles": self.residence_cycles.tolist(),
             "residence_count": self.residence_count.tolist(),
             "latency": {
-                t.name: (acc.count, acc.total, acc.queuing, acc.non_queuing)
+                t.name: (acc.count, acc.total, acc.queuing,
+                         acc.non_queuing, acc.clamped)
                 for t, acc in sorted(self.latency.items())
             },
         }
@@ -168,6 +178,7 @@ class NetworkStats:
         self.interposer_hop_length += other.interposer_hop_length
         self.flits_injected += other.flits_injected
         self.flits_ejected += other.flits_ejected
+        self.packets_created += other.packets_created
         self.packets_delivered += other.packets_delivered
         self.bits_delivered += other.bits_delivered
         self.residence_cycles += other.residence_cycles
@@ -178,3 +189,4 @@ class NetworkStats:
             acc.total += oacc.total
             acc.queuing += oacc.queuing
             acc.non_queuing += oacc.non_queuing
+            acc.clamped += oacc.clamped

@@ -37,8 +37,8 @@ class PacketTracer:
     """Records hop events for packets selected by ``watch``.
 
     The tracer monkey-wraps the network's ``_commit`` and ``_deliver``
-    internals — acceptable coupling for a debugging tool that lives
-    next to the network implementation.
+    internals and hooks ``on_inject`` — acceptable coupling for a
+    debugging tool that lives next to the network implementation.
     """
 
     def __init__(
@@ -51,6 +51,7 @@ class PacketTracer:
         self.watch = watch or (lambda p: True)
         self.max_packets = max_packets
         self.events: Dict[int, List[HopEvent]] = {}
+        self.packets: Dict[int, Packet] = {}
         self._wrap()
 
     # ------------------------------------------------------------------
@@ -61,12 +62,14 @@ class PacketTracer:
             if not self.watch(packet):
                 return
             self.events[packet.pid] = []
+            self.packets[packet.pid] = packet
         self.events[packet.pid].append(event)
 
     def _wrap(self) -> None:
         net = self.network
         original_commit = net._commit
         original_deliver = net._deliver
+        original_inject = net.on_inject
 
         def commit(router, in_port, in_vc, out_port, out_vc, flit, cycle):
             kind = "eject" if out_port in router.eject_ports else "hop"
@@ -92,8 +95,29 @@ class PacketTracer:
                 )
             return original_deliver(node, eject_port, flit, cycle)
 
+        def inject(buffer, flit, cycle):
+            # The head flit leaving the NI buffer onto the injection
+            # link — the event the "inject" kind documents; without it
+            # path/wait accounting starts at the first router hop and
+            # undercounts NI-link wait.
+            link = "interposer" if buffer.interposer else "local"
+            self._record(
+                flit.packet,
+                HopEvent(
+                    cycle=cycle,
+                    node=buffer.target_node,
+                    kind="inject",
+                    flit_idx=flit.idx,
+                    detail=f"ni({link})->p{buffer.target_port}"
+                    f"v{buffer.cur_vc}",
+                ),
+            )
+            if original_inject is not None:
+                original_inject(buffer, flit, cycle)
+
         net._commit = commit
         net._deliver = deliver
+        net.on_inject = inject
 
     # ------------------------------------------------------------------
     def trace(self, pid: int) -> List[HopEvent]:
@@ -108,14 +132,32 @@ class PacketTracer:
         ]
 
     def wait_cycles(self, pid: int) -> int:
-        """Cycles between the head flit's first and last recorded move,
-        minus the minimal hop count — time lost to contention."""
+        """Cycles between the head flit's injection (or first recorded
+        move) and its last move, minus the minimal hop count — time
+        lost to contention, NI-link wait included."""
         head = [e for e in self.trace(pid) if e.flit_idx == 0
-                and e.kind in ("hop", "eject")]
+                and e.kind in ("inject", "hop", "eject")]
         if len(head) < 2:
             return 0
         elapsed = head[-1].cycle - head[0].cycle
         return max(0, elapsed - (len(head) - 1))
+
+    def prune_delivered(self) -> int:
+        """Drop traces of delivered packets; returns how many were dropped.
+
+        Long-running monitors (the validation mode's auto-attached
+        tracer) call this periodically so memory stays proportional to
+        the in-flight population — stuck packets, by definition never
+        delivered, keep their full history for the watchdog dump.
+        """
+        done = [
+            pid for pid, packet in self.packets.items()
+            if packet.delivered is not None
+        ]
+        for pid in done:
+            del self.events[pid]
+            del self.packets[pid]
+        return len(done)
 
     def format_trace(self, pid: int) -> str:
         """Human-readable event log for one packet."""

@@ -15,6 +15,32 @@ class TestParser:
             build_parser().parse_args(["--version"])
         assert exc.value.code == 0
 
+    def test_validate_flag_defaults_off(self):
+        args = build_parser().parse_args(["run", "--scheme", "SingleBase"])
+        assert args.validate == 0
+        assert args.watchdog_cycles == 0
+
+    def test_validate_bare_flag_means_default_interval(self):
+        args = build_parser().parse_args(["run", "--validate"])
+        assert args.validate == 1
+
+    def test_validate_interval_and_watchdog_parsed(self):
+        args = build_parser().parse_args(
+            ["sweep", "--validate", "64", "--watchdog-cycles", "500"]
+        )
+        assert args.validate == 64
+        assert args.watchdog_cycles == 500
+
+    def test_experiment_config_carries_validation(self):
+        from repro.cli import _experiment_config
+
+        args = build_parser().parse_args(
+            ["run", "--validate", "64", "--watchdog-cycles", "500"]
+        )
+        cfg = _experiment_config(args)
+        assert cfg.validate == 64
+        assert cfg.watchdog_cycles == 500
+
     def test_unknown_scheme_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--scheme", "TorusMax"])

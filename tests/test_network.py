@@ -181,6 +181,23 @@ class TestCredits:
         assert drained == 29
         assert net.idle()
 
+    def test_add_eject_port_defaults_to_constructed_capacity(self):
+        """Regression: extra eject ports once defaulted to 2*vc_capacity,
+        ignoring an explicit ``eject_capacity`` at construction."""
+        net, _ = make_net(eject_capacity=7)
+        router = net.routers[3]
+        built = router.outputs[router.eject_ports[0]]
+        assert built.capacity == 7
+        port = net.add_eject_port(3)
+        added = router.outputs[port]
+        assert added.capacity == 7
+        assert added.credits[0] == 7
+
+    def test_add_eject_port_explicit_capacity_still_honoured(self):
+        net, _ = make_net(eject_capacity=7)
+        port = net.add_eject_port(0, capacity=11)
+        assert net.routers[0].outputs[port].capacity == 11
+
 
 class TestVcClasses:
     def test_classes_stay_separated_without_monopolize(self):

@@ -75,6 +75,33 @@ class TestRunSweep:
         with pytest.raises(RuntimeError, match="no-such-benchmark"):
             run_suite(["SingleBase"], ["no-such-benchmark"], CFG)
 
+    def test_stall_dump_captured_from_failed_cell(self, monkeypatch):
+        """Watchdog/audit failures carry their diagnostic dump into the
+        sweep report instead of burying it in the traceback text."""
+        from repro.gpu.system import SimulationStall
+        from repro.harness import runner
+
+        def stall(scheme, benchmark, config):
+            raise SimulationStall(
+                "no network progress", dump="=== network 'request' ==="
+            )
+
+        monkeypatch.setattr(runner, "run_experiment", stall)
+        report = run_sweep([SweepCell("SingleBase", "hotspot", CFG)], jobs=1)
+        outcome = report.outcomes[0]
+        assert not outcome.ok
+        assert outcome.stall_dump == "=== network 'request' ==="
+        assert report.stall_dumps() == {
+            ("SingleBase", "hotspot"): "=== network 'request' ==="
+        }
+
+    def test_plain_failure_has_no_stall_dump(self):
+        report = run_sweep(
+            [SweepCell("SingleBase", "no-such-benchmark", CFG)], jobs=1
+        )
+        assert report.outcomes[0].stall_dump is None
+        assert report.stall_dumps() == {}
+
     def test_run_suite_matches_runner(self):
         suite = run_suite(["SingleBase"], ["hotspot"], CFG)
         report = sweep(["SingleBase"], ["hotspot"], CFG)

@@ -27,6 +27,15 @@ class TestLatencyAccumulator:
         assert acc.non_queuing == 8
         assert acc.queuing == 0
 
+    def test_clamped_samples_are_counted(self):
+        """Regression: clamping was silent, hiding zero-load-model bugs."""
+        acc = LatencyAccumulator()
+        acc.add(total=8, non_queuing=12)   # clamped
+        acc.add(total=30, non_queuing=12)  # normal
+        acc.add(total=12, non_queuing=12)  # boundary: not clamped
+        assert acc.clamped == 1
+        assert acc.count == 3
+
     def test_means(self):
         acc = LatencyAccumulator()
         acc.add(10, 4)
@@ -94,3 +103,14 @@ class TestNetworkStats:
         assert a.residence_cycles[3] == 6
         assert a.residence_count[3] == 2
         assert a.latency[PacketType.READ_REPLY].count == 1
+
+    def test_snapshot_and_merge_carry_clamped(self):
+        a = NetworkStats(16, 2)
+        b = NetworkStats(16, 2)
+        a.latency[PacketType.READ_REPLY].add(total=5, non_queuing=9)
+        b.latency[PacketType.READ_REPLY].add(total=5, non_queuing=9)
+        snap = a.snapshot()
+        assert snap["latency"][PacketType.READ_REPLY.name][4] == 1
+        assert "packets_created" in snap
+        a.merge(b)
+        assert a.latency[PacketType.READ_REPLY].clamped == 2

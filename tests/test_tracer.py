@@ -104,6 +104,69 @@ class TestTracer:
         assert "deliver" in text
         assert tracer.format_trace(99) == "packet 99: no recorded events"
 
+    def test_first_event_is_inject(self):
+        """Regression: the documented ``inject`` event kind was never
+        recorded, so traces began mid-flight at the first hop."""
+        net, nis, tracer = make_traced_net()
+        p = Packet(1, PacketType.READ_REPLY, 0, 15, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        assert run(net, 15) is p
+        events = tracer.trace(1)
+        assert events[0].kind == "inject"
+        assert events[0].node == 0
+        assert sum(1 for e in events if e.kind == "inject") == 1
+        assert "inject" in tracer.format_trace(1)
+
+    def test_inject_hook_chains_previous_hook(self):
+        net, nis, first = make_traced_net()
+        second = PacketTracer(net)  # wraps the first tracer's hook
+        p = Packet(1, PacketType.READ_REPLY, 0, 5, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        run(net, 5)
+        assert first.trace(1)[0].kind == "inject"
+        assert second.trace(1)[0].kind == "inject"
+
+    def test_inject_wait_counted_under_injection_contention(self):
+        """Two buffers of one multi-port NI race into the same router
+        output; the loser's pre-first-hop wait is now visible."""
+        from repro.noc import MultiPortInterface
+
+        net = Network("t", Grid(4), flit_bytes=16, vc_classes=[(0,), (1,)])
+        nis = {n: NetworkInterface(net, n) for n in net.grid.nodes()
+               if n != 0}
+        nis[0] = MultiPortInterface(net, 0, num_ports=2)
+        tracer = PacketTracer(net)
+        for pid in (1, 2):
+            nis[0].enqueue(
+                Packet(pid, PacketType.READ_REPLY, 0, 3, 5, 0, vc_class=1)
+            )
+        for _ in range(300):
+            net.tick()
+            while net.pop_delivered(3):
+                pass
+            if net.idle():
+                break
+        waits = [tracer.wait_cycles(1), tracer.wait_cycles(2)]
+        assert max(waits) > 0
+
+    def test_prune_delivered_drops_history(self):
+        net, nis, tracer = make_traced_net()
+        p = Packet(1, PacketType.READ_REPLY, 0, 15, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        run(net, 15)
+        assert tracer.trace(1)
+        tracer.prune_delivered()
+        assert tracer.trace(1) == []
+
+    def test_prune_keeps_in_flight_history(self):
+        net, nis, tracer = make_traced_net()
+        p = Packet(1, PacketType.READ_REPLY, 0, 15, 5, 0, vc_class=1)
+        nis[0].enqueue(p)
+        for _ in range(3):
+            net.tick()
+        tracer.prune_delivered()
+        assert tracer.trace(1)  # still in flight: history retained
+
     def test_max_packets_cap(self):
         net, nis, tracer = make_traced_net()
         tracer.max_packets = 2

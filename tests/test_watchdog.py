@@ -1,0 +1,168 @@
+"""End-to-end tests for the stall watchdog and validation mode.
+
+Covers the acceptance criterion: a deliberate credit leak deadlocks a
+small run, and the watchdog reports it within the configured window,
+naming the stuck router/port in the diagnostic dump.  Also pins the
+read-only contract of validation mode (bit-identical fingerprints) and
+the zero-clamp property of the latency model across smoke runs.
+"""
+
+import pytest
+
+from repro.gpu.system import SimulationStall, System, SystemConfig
+from repro.harness.experiment import (
+    ExperimentConfig,
+    build_fabric,
+    run_experiment,
+    run_with_fabric,
+)
+from repro.noc import Network, NetworkAuditError, NetworkInterface, Validator
+from repro.core.grid import Grid
+from repro.noc.diagnostics import (
+    DEFAULT_AUDIT_INTERVAL,
+    resolve_validate_interval,
+    validate_interval_from_env,
+    watchdog_cycles_from_env,
+)
+from repro.workloads import profiles
+
+CFG = ExperimentConfig(quota=10, mcts_iterations=10)
+
+
+def make_system(scheme="SeparateBase", bench="kmeans", **kw):
+    fabric = build_fabric(scheme, CFG)
+    system = System(
+        fabric, profiles.get(bench), SystemConfig(quota=CFG.quota, **kw)
+    )
+    return fabric, system
+
+
+class TestWatchdog:
+    def test_eject_credit_leak_trips_watchdog_with_located_dump(self):
+        fabric, system = make_system(watchdog_cycles=800, max_cycles=100000)
+        # Leak every ejection credit of the reply network: replies can
+        # never commit to their sinks, so every PE eventually starves.
+        for router in fabric.reply_net.routers:
+            for eject in router.eject_ports:
+                router.outputs[eject].credits[0] = 0
+        with pytest.raises(SimulationStall) as exc_info:
+            system.run()
+        err = exc_info.value
+        assert "watchdog window 800" in str(err)
+        assert system.cycle < 100000  # fired long before the timeout
+        # The dump names the leaking router/port and locates the oldest
+        # stuck packet.
+        assert "eject(" in err.dump
+        assert "credit leak" in err.dump
+        assert "oldest stuck packet" in err.dump
+        assert "router" in err.dump
+
+    def test_audit_catches_leak_before_watchdog(self):
+        fabric, system = make_system(
+            validate_interval=50, max_cycles=100000
+        )
+        router = fabric.reply_net.routers[0]
+        router.outputs[router.eject_ports[0]].credits[0] -= 1
+        with pytest.raises(NetworkAuditError) as exc_info:
+            system.run()
+        err = exc_info.value
+        assert system.cycle <= 50  # first periodic audit
+        assert "credit leak" in str(err)
+        assert err.dump  # carries the full diagnostic dump
+        assert any(not r.ok for r in err.reports)
+
+    def test_healthy_run_passes_with_validation_enabled(self):
+        _fabric, system = make_system(validate_interval=32)
+        result = system.run()
+        assert result.cycles > 0
+
+
+class TestValidator:
+    def make_net(self):
+        net = Network("t", Grid(4), flit_bytes=16, vc_classes=[(0,), (1,)])
+        for n in net.grid.nodes():
+            NetworkInterface(net, n)
+        return net
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            Validator([self.make_net()], interval=0)
+
+    def test_on_cycle_audits_on_interval_only(self):
+        v = Validator([self.make_net()], interval=10, trace=False)
+        for cycle in range(1, 10):
+            v.on_cycle(cycle)
+        assert v.audits == 0
+        v.on_cycle(10)
+        assert v.audits == 1
+
+    def test_audit_raises_with_reports_and_dump(self):
+        net = self.make_net()
+        v = Validator([net], interval=10)
+        net.routers[2].outputs[0].credits[0] = -1
+        with pytest.raises(NetworkAuditError) as exc_info:
+            v.audit()
+        err = exc_info.value
+        assert len(err.reports) == 1
+        assert "negative credits" in str(err)
+        assert "audit[" in err.dump
+
+
+class TestEnvKnobs:
+    def test_validate_interval_semantics(self, monkeypatch):
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        assert validate_interval_from_env() == 0
+        monkeypatch.setenv("REPRO_VALIDATE", "1")
+        assert validate_interval_from_env() == DEFAULT_AUDIT_INTERVAL
+        monkeypatch.setenv("REPRO_VALIDATE", "128")
+        assert validate_interval_from_env() == 128
+        monkeypatch.setenv("REPRO_VALIDATE", "0")
+        assert validate_interval_from_env() == 0
+        monkeypatch.setenv("REPRO_VALIDATE", "junk")
+        assert validate_interval_from_env() == 0
+
+    def test_resolve_validate_interval(self):
+        assert resolve_validate_interval(-3) == 0
+        assert resolve_validate_interval(0) == 0
+        assert resolve_validate_interval(1) == DEFAULT_AUDIT_INTERVAL
+        assert resolve_validate_interval(64) == 64
+
+    def test_watchdog_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WATCHDOG_CYCLES", raising=False)
+        assert watchdog_cycles_from_env(999) == 999
+        monkeypatch.setenv("REPRO_WATCHDOG_CYCLES", "1234")
+        assert watchdog_cycles_from_env(999) == 1234
+        monkeypatch.setenv("REPRO_WATCHDOG_CYCLES", "-5")
+        assert watchdog_cycles_from_env(999) == 999
+
+
+class TestValidationDeterminism:
+    def test_validate_env_leaves_fingerprint_identical(self, monkeypatch):
+        """Audits are read-only: REPRO_VALIDATE must not perturb runs."""
+        monkeypatch.delenv("REPRO_VALIDATE", raising=False)
+        base = run_experiment("SeparateBase", "kmeans", CFG)
+        monkeypatch.setenv("REPRO_VALIDATE", "64")
+        validated = run_experiment("SeparateBase", "kmeans", CFG)
+        assert validated.stats_fingerprint == base.stats_fingerprint
+        assert validated.cycles == base.cycles
+
+    @pytest.mark.parametrize("scheme", ["SingleBase", "MultiPort", "EquiNox"])
+    def test_validated_smoke_runs_stay_clean(self, scheme):
+        """No scheme trips a (false-positive) audit under real traffic."""
+        cfg = ExperimentConfig(quota=10, mcts_iterations=10, validate=32)
+        result = run_experiment(scheme, "hotspot", cfg)
+        assert result.cycles > 0
+
+
+class TestClampedSmoke:
+    @pytest.mark.parametrize(
+        "scheme", ["SingleBase", "SeparateBase", "MultiPort", "EquiNox"]
+    )
+    @pytest.mark.parametrize("bench", ["kmeans", "hotspot"])
+    def test_no_latency_sample_clamped(self, scheme, bench):
+        """The zero-load model never overestimates a measured latency."""
+        fabric = build_fabric(scheme, CFG)
+        run_with_fabric(fabric, bench, CFG)
+        for net, _ratio, _role in fabric.networks:
+            for ptype, acc in net.stats.latency.items():
+                assert acc.clamped == 0, (scheme, bench, ptype)

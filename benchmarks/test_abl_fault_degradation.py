@@ -1,0 +1,98 @@
+"""Ablation: delivered performance vs failed EIR links (availability).
+
+EquiNox's redundancy argument is that any of a CB's Equivalent
+Injection Routers can carry its replies, so losing injectors degrades
+throughput instead of halting it.  This sweep fails ``k`` RDL links per
+CB group mid-run (k = 0..4) and records execution time plus the
+dropped/recovered ledger; the single-injection baseline
+(SeparateBase) is run with its one local injection path failed, which
+stalls outright — the availability cliff EquiNox avoids.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import publish, quick_config
+
+from repro.gpu import SimulationStall
+from repro.harness import cache
+from repro.harness.experiment import run_experiment
+from repro.harness.metrics import format_table
+from repro.noc.faults import FaultSpec, eir_link_faults
+from repro.schemes import get_config
+
+BENCH = "fastWalshTransform"
+FAIL_AT = 400
+
+
+def _separate_base_cliff(config):
+    """Fail the single injection buffer at every SeparateBase CB."""
+    scheme = get_config("SeparateBase")
+    placement = cache.placement(
+        scheme.placement_name, config.width, config.num_cbs
+    )
+    return tuple(
+        FaultSpec(kind="ni_buffer", node=cb, buffer=0, at_cycle=FAIL_AT)
+        for cb in placement.nodes
+    )
+
+
+def test_fault_degradation_ablation(benchmark):
+    config = replace(quick_config(), validate=64)
+    design = cache.equinox_design(
+        config.width, config.num_cbs,
+        iterations_per_level=config.mcts_iterations, seed=config.seed,
+    )
+
+    def run_sweep():
+        results = {}
+        for k in (0, 1, 2, 3, 4):
+            specs = eir_link_faults(design.eir_design, k, at_cycle=FAIL_AT)
+            results[k] = run_experiment(
+                "EquiNox", BENCH, replace(config, faults=specs)
+            )
+        return results
+
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (k, r.cycles, f"{r.ipc:.3f}", r.flits_dropped, r.packets_recovered)
+        for k, r in results.items()
+    ]
+
+    # The single-injection baseline has no redundancy to fall back on:
+    # the same class of fault (its one local injection path) stalls the
+    # run instead of degrading it.
+    cliff = replace(
+        config,
+        faults=_separate_base_cliff(config),
+        watchdog_cycles=3000,
+    )
+    with pytest.raises(SimulationStall):
+        run_experiment("SeparateBase", BENCH, cliff)
+    rows.append(("base", "STALL", "0.000", "-", "-"))
+
+    publish(
+        "ablation_fault_degradation",
+        "Ablation: failed EIR links per CB group (fastWalshTransform)\n"
+        + format_table(
+            ("Failed links/CB", "Cycles", "IPC", "Dropped", "Recovered"),
+            rows,
+        )
+        + "\n['base' = SeparateBase with its single injection path "
+        "failed]",
+    )
+
+    # Every EquiNox configuration completes the full workload.
+    fault_free = results[0]
+    for k, result in results.items():
+        assert result.ipc > 0
+        assert result.instructions == fault_free.instructions
+    # Losing links never speeds things up, and losing every EIR link
+    # costs something.  (Degradation need not be strictly monotone in
+    # k: re-selection reshapes congestion between adjacent k values.)
+    cycles = [results[k].cycles for k in (0, 1, 2, 3, 4)]
+    assert all(c >= cycles[0] for c in cycles[1:])
+    assert cycles[-1] > cycles[0]
+    # Quarantining live injectors actually exercised the drop ledger.
+    assert results[4].flits_dropped >= results[1].flits_dropped

@@ -51,6 +51,12 @@ def _add_validation(parser: argparse.ArgumentParser) -> None:
         help="stall-watchdog window in base cycles (0 = "
              "REPRO_WATCHDOG_CYCLES env or the model default)",
     )
+    parser.add_argument(
+        "--faults", metavar="SPEC",
+        help="fault plan: a JSON file path, or inline JSON (a list of "
+             "fault specs or {\"faults\": [...]}); same format as "
+             "REPRO_FAULTS",
+    )
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
@@ -72,6 +78,12 @@ def _cmd_design(args: argparse.Namespace) -> int:
 
 
 def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
+    faults = ()
+    spec = getattr(args, "faults", None)
+    if spec:
+        from .noc.faults import parse_faults_arg
+
+        faults = parse_faults_arg(spec)
     return ExperimentConfig(
         width=args.width,
         num_cbs=args.cbs,
@@ -80,6 +92,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         mcts_iterations=args.iterations,
         validate=getattr(args, "validate", 0),
         watchdog_cycles=getattr(args, "watchdog_cycles", 0),
+        faults=faults,
     )
 
 
@@ -105,10 +118,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.resume and not args.journal:
+        print("error: --resume requires --journal", file=sys.stderr)
+        return 2
     schemes = args.schemes or SCHEME_ORDER
     benchmarks = args.benchmarks or ["gaussian", "hotspot", "kmeans"]
     results = run_suite(schemes, benchmarks, _experiment_config(args),
-                        progress=True, jobs=args.jobs)
+                        progress=True, jobs=args.jobs,
+                        cell_timeout=args.cell_timeout,
+                        retries=args.retries,
+                        journal=args.journal,
+                        resume=args.resume)
     for metric, label in (("cycles", "Execution time"),
                           ("energy_nj", "Energy"), ("edp", "EDP")):
         rows = []
@@ -195,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the sweep grid "
                               "(default 1 = serial)")
+    p_sweep.add_argument("--cell-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock limit per cell attempt "
+                              "(default: REPRO_CELL_TIMEOUT or unbounded)")
+    p_sweep.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="retry failed cells up to N times with "
+                              "backoff and fresh deterministic seeds "
+                              "(default: REPRO_RETRIES or 0)")
+    p_sweep.add_argument("--journal", metavar="PATH",
+                         help="checkpoint completed cells to an "
+                              "append-only JSON-lines journal")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="restore successful cells from --journal "
+                              "instead of recomputing them")
     _add_validation(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -59,6 +59,10 @@ class SystemConfig:
     # Stall-watchdog window in base cycles (None = REPRO_WATCHDOG_CYCLES
     # env override, else the WATCHDOG_CYCLES default).
     watchdog_cycles: Optional[int] = None
+    # Optional FaultInjector (noc.faults), already bound to the fabric;
+    # its on_cycle hook fires due fail/heal events at base-cycle
+    # boundaries, before any component ticks.
+    fault_injector: Optional[object] = None
 
 
 @dataclass
@@ -139,9 +143,14 @@ class System:
         validator: Optional[Validator] = None
         if cfg.validate_interval > 0:
             validator = Validator(networks, interval=cfg.validate_interval)
+        injector = cfg.fault_injector
         while self.cycle < cfg.max_cycles:
             self.cycle += 1
             cycle = self.cycle
+            # 0. Fault injection fires between ticks, so every audit
+            #    invariant holds when faults are applied or healed.
+            if injector is not None:
+                injector.on_cycle(cycle)
             # 1. PEs issue new requests and absorb replies.
             for pe in pes:
                 transaction = pe.try_issue(cycle, tid + 1, cb_nodes)

@@ -36,6 +36,17 @@ from ..core.serialize import FORMAT_VERSION, design_from_dict, design_to_dict
 
 _DESIGNS: Dict[Tuple, EquiNoxDesign] = {}
 _PLACEMENTS: Dict[Tuple, PlacementResult] = {}
+_CORRUPT_EVICTIONS = 0
+
+
+def corrupt_evictions() -> int:
+    """Corrupt disk entries evicted since import (or the last clear).
+
+    Corruption is tolerated silently at read time (the artefact is just
+    recomputed), but a climbing counter flags a sick disk or a writer
+    bug, so tests and sweep reports can assert on it.
+    """
+    return _CORRUPT_EVICTIONS
 
 
 # ----------------------------------------------------------------------
@@ -75,12 +86,29 @@ def _entry_path(kind: str, params: Dict) -> Optional[Path]:
     return root / f"{kind}-{digest}.json"
 
 
+def _evict(path: Optional[Path]) -> None:
+    """Remove a corrupt entry (it would fail on every future read)."""
+    global _CORRUPT_EVICTIONS
+    _CORRUPT_EVICTIONS += 1
+    if path is None:
+        return
+    try:
+        path.unlink()
+    except OSError:
+        pass  # already gone, or a read-only store; counting still holds
+
+
 def _disk_read(path: Optional[Path]) -> Optional[Dict]:
     if path is None:
         return None
     try:
-        return json.loads(path.read_text())
-    except (OSError, ValueError):
+        text = path.read_text()
+    except OSError:
+        return None  # missing entry or unreadable store: just a miss
+    try:
+        return json.loads(text)
+    except ValueError:
+        _evict(path)  # unparseable JSON (torn write, disk damage)
         return None
 
 
@@ -88,6 +116,7 @@ def _disk_write(path: Optional[Path], data: Dict) -> None:
     """Atomically persist ``data`` (concurrent workers may race here)."""
     if path is None:
         return
+    tmp: Optional[str] = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -97,7 +126,13 @@ def _disk_write(path: Optional[Path], data: Dict) -> None:
             json.dump(data, handle)
         os.replace(tmp, path)
     except OSError:
-        return  # a read-only store degrades to tier 1, never fails a run
+        # A read-only store degrades to tier 1, never fails a run; but
+        # don't leave the half-written temp file behind.
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +163,8 @@ def equinox_design(
         try:
             design = design_from_dict(data, strict=True)
         except (ValueError, KeyError, TypeError):
-            design = None  # corrupt/stale entry: fall through and redo
+            design = None  # corrupt/stale entry: evict and redo
+            _evict(path)
     if design is None:
         design = design_equinox(
             width,
@@ -159,6 +195,7 @@ def placement(name: str, width: int, num_cbs: int = 8) -> PlacementResult:
             )
         except (KeyError, TypeError):
             result = None
+            _evict(path)
     if result is None:
         result = by_name(name, Grid(width), num_cbs)
         _disk_write(
@@ -175,8 +212,10 @@ def placement(name: str, width: int, num_cbs: int = 8) -> PlacementResult:
 
 def clear(disk: bool = False) -> None:
     """Drop cached artefacts: always tier 1, plus the store if ``disk``."""
+    global _CORRUPT_EVICTIONS
     _DESIGNS.clear()
     _PLACEMENTS.clear()
+    _CORRUPT_EVICTIONS = 0
     if disk:
         root = cache_dir()
         if root is not None and root.is_dir():

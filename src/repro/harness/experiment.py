@@ -18,6 +18,7 @@ from ..noc.diagnostics import (
     resolve_validate_interval,
     validate_interval_from_env,
 )
+from ..noc.faults import FaultInjector, FaultPlan, FaultSpec, faults_from_env
 from ..noc.types import PacketType
 from ..power.area import fabric_area
 from ..power.energy import fabric_energy
@@ -48,6 +49,11 @@ class ExperimentConfig:
     # Stall-watchdog window override (0 = REPRO_WATCHDOG_CYCLES env,
     # else the model default).
     watchdog_cycles: int = 0
+    # Deterministic fault schedule (noc.faults.FaultSpec tuple).  Empty
+    # means the REPRO_FAULTS env var supplies a default plan (so CI can
+    # arm a whole sweep without threading a flag through); an armed but
+    # never-firing plan leaves results bit-identical.
+    faults: Tuple[FaultSpec, ...] = ()
 
 
 def default_config() -> ExperimentConfig:
@@ -146,6 +152,10 @@ def run_with_fabric(
     config = config or ExperimentConfig()
     profile = profiles.get(benchmark_name)
     validate = config.validate or validate_interval_from_env()
+    fault_specs = tuple(config.faults) or faults_from_env()
+    injector: Optional[FaultInjector] = None
+    if fault_specs:
+        injector = FaultInjector(fabric, FaultPlan(fault_specs))
     system = System(
         fabric,
         profile,
@@ -157,6 +167,7 @@ def run_with_fabric(
             max_cycles=config.max_cycles,
             validate_interval=resolve_validate_interval(validate),
             watchdog_cycles=config.watchdog_cycles or None,
+            fault_injector=injector,
         ),
     )
     result = system.run()
@@ -178,6 +189,13 @@ def run_with_fabric(
         pe_stall_cycles=result.pe_stall_cycles,
         cb_stall_cycles=result.cb_stall_cycles,
         stats_fingerprint=digest.hexdigest(),
+        flits_dropped=sum(
+            net.stats.flits_dropped for net, _ratio, _role in fabric.networks
+        ),
+        packets_recovered=sum(
+            net.stats.packets_recovered
+            for net, _ratio, _role in fabric.networks
+        ),
     )
 
 
@@ -198,6 +216,10 @@ def run_suite(
     config: Optional[ExperimentConfig] = None,
     progress: bool = False,
     jobs: int = 1,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    journal: Optional[object] = None,
+    resume: bool = False,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
     """Run a scheme x benchmark grid; ``jobs > 1`` fans out across cores.
 
@@ -209,7 +231,15 @@ def run_suite(
     from .runner import expand_grid, run_sweep
 
     cells = expand_grid(schemes, benchmarks, config)
-    report = run_sweep(cells, jobs=jobs, progress=progress)
+    report = run_sweep(
+        cells,
+        jobs=jobs,
+        progress=progress,
+        cell_timeout=cell_timeout,
+        retries=retries,
+        journal=journal,
+        resume=resume,
+    )
     errors = report.errors()
     if errors:
         (scheme, benchmark), trace = next(iter(errors.items()))

@@ -46,6 +46,9 @@ class ExperimentResult:
     # sha256 over every network's full counter snapshot; two runs of the
     # same (seed, config) must agree bit-for-bit (determinism tests).
     stats_fingerprint: str = ""
+    # Fault-injection ledger totals over all networks (0 without faults).
+    flits_dropped: int = 0
+    packets_recovered: int = 0
 
     @property
     def ipc(self) -> float:
@@ -61,6 +64,27 @@ class ExperimentResult:
     def edp(self) -> float:
         """Energy-delay product (nJ * ns)."""
         return self.energy_nj * self.execution_ns
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    """Plain-JSON form of a result (sweep journal, reports).
+
+    Floats round-trip exactly through ``json`` (repr-based), so a
+    journalled result restores bit-identical to the original — the
+    crash-safe resume path relies on this.
+    """
+    from dataclasses import asdict
+
+    return asdict(result)
+
+
+def result_from_dict(data: Mapping[str, object]) -> ExperimentResult:
+    """Inverse of :func:`result_to_dict`."""
+    payload = dict(data)
+    latency = payload.get("latency")
+    if isinstance(latency, Mapping):
+        payload["latency"] = LatencyNs(**latency)
+    return ExperimentResult(**payload)
 
 
 def normalize(

@@ -16,27 +16,51 @@ deterministic simulation, which makes the grid embarrassingly parallel:
   the disk tier of :mod:`~repro.harness.cache` instead of redoing the
   search per process.
 
+Robustness: every cell attempt can be bounded by a wall-clock timeout
+(SIGALRM-based, ``REPRO_CELL_TIMEOUT``), failed attempts can be
+retried with exponential backoff under a fresh deterministic seed
+(``REPRO_RETRIES``), and a sweep can journal completed cells to an
+append-only JSON-lines checkpoint (:class:`SweepJournal`) from which a
+killed run resumes without recomputing finished work.
+
 Determinism contract: for a fixed ``(seed, config)``, serial and
 parallel execution (and cold vs warm disk cache) produce bit-identical
 results — the determinism tests compare ``stats_fingerprint`` digests
-across all four combinations.
+across all four combinations.  A resumed sweep restores journalled
+results bit-identically (JSON floats round-trip exactly).
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..schemes import get_config
 from . import cache
 from .experiment import ExperimentConfig, run_experiment
-from .metrics import ExperimentResult, format_table
+from .metrics import (
+    ExperimentResult,
+    format_table,
+    result_from_dict,
+    result_to_dict,
+)
+
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+RETRIES_ENV = "REPRO_RETRIES"
+
+
+class CellTimeout(RuntimeError):
+    """One sweep-cell attempt exceeded its wall-clock limit."""
 
 
 @dataclass(frozen=True)
@@ -69,6 +93,16 @@ class CellOutcome:
     # or a conservation-audit violation (SimulationStall /
     # NetworkAuditError carry it on their ``dump`` attribute).
     stall_dump: Optional[str] = None
+    # Attempts consumed (1 = first try succeeded or no retries left).
+    attempts: int = 1
+    # The last failed attempt hit the wall-clock limit.
+    timed_out: bool = False
+    # Exception class name of the recorded failure (None when ok).
+    error_type: Optional[str] = None
+    # Seed the recorded attempt actually ran with (retries reseed).
+    seed_used: Optional[int] = None
+    # Restored from a sweep journal instead of being recomputed.
+    from_journal: bool = False
 
     @property
     def ok(self) -> bool:
@@ -168,27 +202,232 @@ def expand_grid(
     return cells
 
 
-def _run_cell(cell: SweepCell) -> CellOutcome:
-    """Execute one cell, converting any failure into data."""
-    start = time.perf_counter()
-    result: Optional[ExperimentResult] = None
-    error: Optional[str] = None
-    stall_dump: Optional[str] = None
+def retry_seed(base_seed: int, attempt: int) -> int:
+    """Deterministic seed for retry ``attempt`` (1-based) of a cell.
+
+    Hash-derived like :func:`cell_seed`, so every retry of every cell
+    is reproducible in isolation without replaying the failed seed.
+    """
+    digest = hashlib.sha256(f"retry:{base_seed}:{attempt}".encode()).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@contextmanager
+def _wall_clock_limit(seconds: float) -> Iterator[None]:
+    """Raise :class:`CellTimeout` if the body outlives ``seconds``.
+
+    SIGALRM/``setitimer`` based, so it bounds wall-clock time even
+    inside the tight simulation loop (no cooperative polling needed).
+    A no-op when ``seconds <= 0``, on platforms without ``setitimer``,
+    or off the main thread — signal handlers can only be installed on
+    the main thread, and pool workers run cells on theirs.
+    """
+    if (
+        seconds <= 0
+        or not hasattr(signal, "setitimer")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum: int, frame: object) -> None:
+        raise CellTimeout(
+            f"cell exceeded {seconds:.3g}s wall-clock limit"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
-        result = run_experiment(cell.scheme, cell.benchmark, cell.config)
-    except Exception as exc:
-        error = traceback.format_exc()
-        dump = getattr(exc, "dump", None)
-        if isinstance(dump, str) and dump:
-            stall_dump = dump
-    return CellOutcome(
-        cell=cell,
-        result=result,
-        error=error,
-        duration_s=time.perf_counter() - start,
-        pid=os.getpid(),
-        stall_dump=stall_dump,
-    )
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _run_cell(
+    cell: SweepCell,
+    cell_timeout: float = 0.0,
+    retries: int = 0,
+    backoff_s: float = 0.05,
+) -> CellOutcome:
+    """Execute one cell, converting any failure into data.
+
+    Runs up to ``1 + retries`` attempts, each under ``cell_timeout``
+    seconds of wall clock (0 = unbounded).  Retry attempts run with a
+    fresh :func:`retry_seed` — replaying the identical seed of a
+    deterministic simulation would fail identically — and back off
+    exponentially so transient resource failures can clear.
+    KeyboardInterrupt and SystemExit always propagate: a user abort
+    must kill the sweep, not be recorded as just another cell failure.
+    """
+    start = time.perf_counter()
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    stall_dump: Optional[str] = None
+    timed_out = False
+    attempt = 0
+    while True:
+        if attempt == 0:
+            seed = cell.config.seed
+            config = cell.config
+        else:
+            seed = retry_seed(cell.config.seed, attempt)
+            config = replace(cell.config, seed=seed)
+        try:
+            with _wall_clock_limit(cell_timeout):
+                result = run_experiment(cell.scheme, cell.benchmark, config)
+            return CellOutcome(
+                cell=cell,
+                result=result,
+                error=None,
+                duration_s=time.perf_counter() - start,
+                pid=os.getpid(),
+                attempts=attempt + 1,
+                seed_used=seed,
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception as exc:
+            error = traceback.format_exc()
+            error_type = type(exc).__name__
+            timed_out = isinstance(exc, CellTimeout)
+            dump = getattr(exc, "dump", None)
+            stall_dump = dump if isinstance(dump, str) and dump else None
+        if attempt >= retries:
+            return CellOutcome(
+                cell=cell,
+                result=None,
+                error=error,
+                duration_s=time.perf_counter() - start,
+                pid=os.getpid(),
+                stall_dump=stall_dump,
+                attempts=attempt + 1,
+                timed_out=timed_out,
+                error_type=error_type,
+                seed_used=seed,
+            )
+        attempt += 1
+        time.sleep(backoff_s * (2 ** (attempt - 1)))
+
+
+def _config_digest(config: ExperimentConfig) -> str:
+    """Short stable digest of a fully-resolved experiment config.
+
+    Keys journal records: a resumed sweep only reuses a cell's result
+    if the scheme, benchmark *and* every config knob (seed, quota,
+    fault plan, ...) match the journalled run exactly.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+JOURNAL_SCHEMA = 1
+
+
+class SweepJournal:
+    """Append-only JSON-lines checkpoint of completed sweep cells.
+
+    Every completed cell appends one self-contained record keyed by
+    ``(scheme, benchmark, config digest)``.  Appends are flushed and
+    fsynced, so a record is durable the moment ``append`` returns, and
+    :meth:`load` skips torn or corrupt lines, so killing the sweep
+    mid-append costs at most that one record.  ``repro sweep --resume``
+    replays successful records bit-identically (floats survive the
+    JSON round trip exactly) and re-runs everything else.
+    """
+
+    def __init__(self, path: object) -> None:
+        self.path = str(path)
+
+    @staticmethod
+    def key(cell: SweepCell) -> Tuple[str, str, str]:
+        return (cell.scheme, cell.benchmark, _config_digest(cell.config))
+
+    def append(self, outcome: CellOutcome) -> None:
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "scheme": outcome.cell.scheme,
+            "benchmark": outcome.cell.benchmark,
+            "config": _config_digest(outcome.cell.config),
+            "ok": outcome.ok,
+            "result": (
+                result_to_dict(outcome.result)
+                if outcome.result is not None
+                else None
+            ),
+            "error": outcome.error,
+            "error_type": outcome.error_type,
+            "duration_s": outcome.duration_s,
+            "pid": outcome.pid,
+            "stall_dump": outcome.stall_dump,
+            "attempts": outcome.attempts,
+            "timed_out": outcome.timed_out,
+            "seed_used": outcome.seed_used,
+        }
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with open(self.path, "a+b") as fh:
+            if fh.tell() > 0:
+                # A kill mid-append can leave a torn, newline-less tail;
+                # this record must start on its own line or both lines
+                # become unparseable.
+                fh.seek(-1, os.SEEK_END)
+                if fh.read(1) != b"\n":
+                    data = b"\n" + data
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def load(self) -> Dict[Tuple[str, str, str], dict]:
+        """Parse the journal; last valid record per key wins."""
+        records: Dict[Tuple[str, str, str], dict] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return records
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a kill mid-append
+            if (
+                not isinstance(record, dict)
+                or record.get("schema") != JOURNAL_SCHEMA
+            ):
+                continue
+            key = (
+                record.get("scheme"),
+                record.get("benchmark"),
+                record.get("config"),
+            )
+            if any(not isinstance(part, str) for part in key):
+                continue
+            records[key] = record
+        return records
+
+    def restore(
+        self, cell: SweepCell, record: dict
+    ) -> Optional[CellOutcome]:
+        """Rebuild a successful outcome from its journal record."""
+        if not record.get("ok") or not isinstance(record.get("result"), dict):
+            return None  # failed cells are re-run on resume
+        try:
+            result = result_from_dict(record["result"])
+        except (TypeError, ValueError):
+            return None
+        return CellOutcome(
+            cell=cell,
+            result=result,
+            error=None,
+            duration_s=float(record.get("duration_s", 0.0)),
+            pid=int(record.get("pid", 0)),
+            attempts=int(record.get("attempts", 1)),
+            seed_used=record.get("seed_used"),
+            from_journal=True,
+        )
 
 
 def warm_design_cache(cells: Sequence[SweepCell]) -> None:
@@ -220,7 +459,16 @@ def warm_design_cache(cells: Sequence[SweepCell]) -> None:
 
 
 def _report_progress(outcome: CellOutcome, done: int, total: int) -> None:
-    status = "ok" if outcome.ok else "FAILED"
+    if outcome.from_journal:
+        status = "ok (journal)"
+    elif outcome.ok:
+        status = "ok"
+    elif outcome.timed_out:
+        status = "FAILED (timeout)"
+    else:
+        status = "FAILED"
+    if outcome.attempts > 1:
+        status += f" after {outcome.attempts} attempts"
     print(
         f"[sweep {done}/{total}] {outcome.cell.label}: {status} "
         f"({outcome.duration_s:.1f}s, pid {outcome.pid})",
@@ -228,11 +476,36 @@ def _report_progress(outcome: CellOutcome, done: int, total: int) -> None:
     )
 
 
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
 def run_sweep(
     cells: Sequence[SweepCell],
     jobs: int = 1,
     progress: bool = False,
     warm: bool = True,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff_s: float = 0.05,
+    journal: Optional[object] = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Run sweep cells, optionally across ``jobs`` worker processes.
 
@@ -240,25 +513,58 @@ def run_sweep(
     the report and the remaining cells keep running.  If the process
     pool cannot be created or breaks (restricted sandboxes, OOM kills),
     the unfinished cells transparently fall back to serial execution.
+
+    ``cell_timeout`` (seconds per attempt) and ``retries`` default to
+    the ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES`` env vars, so CI can
+    arm a whole sweep without threading flags through.  ``journal``
+    names a :class:`SweepJournal` path to checkpoint completed cells
+    into (written from the parent process only); with ``resume``,
+    successful journalled cells are restored instead of recomputed.
     """
     cells = list(cells)
+    if cell_timeout is None:
+        cell_timeout = _env_float(CELL_TIMEOUT_ENV, 0.0)
+    if retries is None:
+        retries = _env_int(RETRIES_ENV, 0)
+    retries = max(0, retries)
+    jnl = SweepJournal(journal) if journal is not None else None
     start = time.perf_counter()
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total
     done = 0
     jobs = max(1, jobs)
-    if jobs > 1 and total > 1:
+    if jnl is not None and resume:
+        records = jnl.load()
+        for index, cell in enumerate(cells):
+            record = records.get(SweepJournal.key(cell))
+            if record is None:
+                continue
+            restored = jnl.restore(cell, record)
+            if restored is None:
+                continue
+            outcomes[index] = restored
+            done += 1
+            if progress:
+                _report_progress(restored, done, total)
+    pending = [i for i in range(total) if outcomes[i] is None]
+    if jobs > 1 and len(pending) > 1:
         if warm:
-            warm_design_cache(cells)
+            warm_design_cache([cells[i] for i in pending])
         try:
-            with ProcessPoolExecutor(max_workers=min(jobs, total)) as pool:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
                 futures = {
-                    pool.submit(_run_cell, cell): index
-                    for index, cell in enumerate(cells)
+                    pool.submit(
+                        _run_cell, cells[i], cell_timeout, retries, backoff_s
+                    ): i
+                    for i in pending
                 }
                 for future in as_completed(futures):
                     outcome = future.result()
                     outcomes[futures[future]] = outcome
+                    if jnl is not None:
+                        jnl.append(outcome)
                     done += 1
                     if progress:
                         _report_progress(outcome, done, total)
@@ -271,8 +577,10 @@ def run_sweep(
                 )
     for index, cell in enumerate(cells):  # serial path and pool fallback
         if outcomes[index] is None:
-            outcome = _run_cell(cell)
+            outcome = _run_cell(cell, cell_timeout, retries, backoff_s)
             outcomes[index] = outcome
+            if jnl is not None:
+                jnl.append(outcome)
             done += 1
             if progress:
                 _report_progress(outcome, done, total)
@@ -290,7 +598,19 @@ def sweep(
     jobs: int = 1,
     progress: bool = False,
     reseed_cells: bool = False,
+    cell_timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    journal: Optional[object] = None,
+    resume: bool = False,
 ) -> SweepReport:
     """Grid convenience wrapper: :func:`expand_grid` + :func:`run_sweep`."""
     cells = expand_grid(schemes, benchmarks, config, reseed_cells)
-    return run_sweep(cells, jobs=jobs, progress=progress)
+    return run_sweep(
+        cells,
+        jobs=jobs,
+        progress=progress,
+        cell_timeout=cell_timeout,
+        retries=retries,
+        journal=journal,
+        resume=resume,
+    )

@@ -165,6 +165,27 @@ def network_dump(
     if audit:
         lines.append(audit_network(net).format())
 
+    failed_links = [
+        (router.node, port)
+        for router in net.routers
+        for port in sorted(router.failed_outputs)
+    ]
+    failed_bufs = [
+        (ni.node, idx, "draining" if buf.draining else "failed")
+        for ni in net.nis
+        for idx, buf in enumerate(ni.buffers)
+        if buf.failed or buf.draining
+    ]
+    if failed_links or failed_bufs:
+        lines.append(
+            "fault state: "
+            + ", ".join(
+                [f"router {n} out p{p} failed" for n, p in failed_links]
+                + [f"NI {n} buffer {i} {state}"
+                   for n, i, state in failed_bufs]
+            )
+        )
+
     occupied = [r for r in net.routers if r.flit_count]
     lines.append(
         f"routers with buffered flits: {len(occupied)}/{len(net.routers)}"

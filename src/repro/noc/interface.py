@@ -32,7 +32,7 @@ class InjectionBuffer:
     """One packet-sized injection buffer wired to a router input port."""
 
     __slots__ = ("network", "target_node", "target_port", "link", "flits",
-                 "cur_vc", "interposer", "length")
+                 "cur_vc", "interposer", "length", "failed", "draining")
 
     def __init__(
         self,
@@ -51,10 +51,21 @@ class InjectionBuffer:
         self.cur_vc: Optional[int] = None
         self.interposer = interposer
         self.length = length
+        # Fault-injection state.  ``failed`` quarantines the buffer (no
+        # new packets, no sends); ``draining`` lets a partially
+        # transmitted wormhole packet finish over the failing link at a
+        # packet boundary, after which the buffer quarantines itself.
+        self.failed = False
+        self.draining = False
 
     @property
     def free(self) -> bool:
         return not self.flits
+
+    @property
+    def available(self) -> bool:
+        """Free to accept a new packet (empty and not quarantined)."""
+        return not self.flits and not self.failed
 
     def load(self, packet: Packet, start_cycle: int = 0,
              core_rate: float = 0.0) -> None:
@@ -66,6 +77,8 @@ class InjectionBuffer:
         """
         if self.flits:
             raise RuntimeError("injection buffer already occupied")
+        if self.failed:
+            raise RuntimeError("injection buffer is quarantined")
         flits = packet.make_flits()
         if core_rate > 0:
             for k, flit in enumerate(flits):
@@ -74,7 +87,7 @@ class InjectionBuffer:
 
     def try_send(self, cycle: int) -> None:
         """Send up to one flit into the target router this cycle."""
-        if not self.flits:
+        if not self.flits or self.failed:
             return
         flit = self.flits[0]
         if flit.ready_at > cycle:
@@ -117,6 +130,11 @@ class InjectionBuffer:
         if flit.is_tail:
             self.link.owner[self.cur_vc] = None
             self.cur_vc = None
+            if self.draining:
+                # The wormhole packet committed before the fault has now
+                # fully left; quarantine the buffer behind it.
+                self.draining = False
+                self.failed = True
 
     def return_credit(self, vc: int) -> None:
         self.link.credits[vc] += 1
@@ -210,7 +228,7 @@ class NetworkInterface:
         for buf in self.buffers:
             if not self.source_queue:
                 return
-            if buf.free:
+            if buf.available:
                 self._load(buf, self.source_queue.popleft(), cycle)
 
     def idle(self) -> bool:
@@ -307,9 +325,14 @@ class EquiNoxInterface(NetworkInterface):
             self._load(self.buffers[buf_idx], packet, cycle)
 
     def _select_buffer(self, packet: Packet) -> Optional[int]:
-        """Buffer Selection 1 (paper): shortest-path EIRs, else local."""
+        """Buffer Selection 1 (paper): shortest-path EIRs, else local.
+
+        Quarantined (failed/draining) buffers are skipped, so a CB with
+        failed EIR links re-selects among the survivors and degrades to
+        single-injection behaviour when every EIR link is down.
+        """
         candidates = self._choices.get(packet.dst, ())
-        free = [i for i in candidates if self.buffers[i].free]
+        free = [i for i in candidates if self.buffers[i].available]
         if free:
             if len(free) == 1:
                 chosen = free[0]
@@ -325,6 +348,14 @@ class EquiNoxInterface(NetworkInterface):
                 (candidates.index(chosen) + 1) % len(candidates)
             )
             return chosen
-        if self.buffers[0].free:
+        if self.buffers[0].available:
             return 0
+        # All shortest-path EIR buffers busy/failed and the local
+        # buffer unavailable: widen to *any* surviving EIR buffer (a
+        # non-minimal EIR beats indefinite head-of-line blocking when
+        # the preferred injectors are quarantined).
+        if any(self.buffers[i].failed for i in range(len(self.buffers))):
+            for idx in range(1, len(self.buffers)):
+                if idx not in candidates and self.buffers[idx].available:
+                    return idx
         return None

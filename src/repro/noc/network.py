@@ -85,6 +85,11 @@ class Network:
         self._arrivals: Dict[int, List[Tuple]] = {}
         self._credits: Dict[int, List[Tuple[OutputPort, int]]] = {}
         self.active: set = set()
+        # Set (and never cleared) by the fault injector once any fault
+        # actually fires in this network.  Routers then forbid sending
+        # a flit back out its arrival port — a move only a fault detour
+        # can make attractive — so fault-free runs stay bit-identical.
+        self.faults_fired = False
         self.nis: List["object"] = []  # NetworkInterface instances
         # (node, eject_port) -> deque of (packet, eject OutputPort).
         self.receive_queues: Dict[Tuple[int, int], Deque[Tuple[Packet, OutputPort]]] = {}
@@ -140,6 +145,29 @@ class Network:
 
     def schedule_credit(self, cycle: int, port: OutputPort, vc: int) -> None:
         self._credits.setdefault(cycle, []).append((port, vc))
+
+    def reclaim_scheduled_flits(self, node: int, port: int) -> List[Flit]:
+        """Remove and return flits in flight toward ``(node, port)``.
+
+        Fault-injection support: when a link fails, the flits already on
+        the wire are pulled back in arrival order so the injector can
+        restore them upstream and account for them in the dropped-flit
+        ledger (keeping the conservation audits balanced).
+        """
+        reclaimed: List[Flit] = []
+        for cycle in sorted(self._arrivals):
+            events = self._arrivals[cycle]
+            kept = [ev for ev in events if ev[0] != node or ev[1] != port]
+            if len(kept) == len(events):
+                continue
+            reclaimed.extend(
+                ev[3] for ev in events if ev[0] == node and ev[1] == port
+            )
+            if kept:
+                self._arrivals[cycle] = kept
+            else:
+                del self._arrivals[cycle]
+        return reclaimed
 
     # ------------------------------------------------------------------
     # Receive side

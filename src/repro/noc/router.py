@@ -98,6 +98,7 @@ class Router:
         "monopolize",
         "monopoly_classes",
         "eject_filter",
+        "failed_outputs",
     )
 
     def __init__(
@@ -159,6 +160,11 @@ class Router:
         # Optional hook restricting which eject ports a packet may use
         # (concentrated meshes dedicate one port per attached tile).
         self.eject_filter = None
+        # Output ports currently failed by fault injection.  Failure is
+        # fail-stop for *new* allocations only: a packet already
+        # allocated to the port finishes its wormhole normally (links
+        # fail at packet boundaries).
+        self.failed_outputs: set = set()
 
     # ------------------------------------------------------------------
     # Construction helpers (called by the network builder)
@@ -288,11 +294,87 @@ class Router:
         )
         allowed = self.vc_classes[packet.vc_class]
         borrowable = self._borrowable_vcs(packet.vc_class, vc)
-        best: Optional[Tuple[int, int, int]] = None  # credits, out_port, out_vc
-        for out_port in candidates:
+        # Once any fault has fired in this network, a flit may never be
+        # routed back out its arrival port.  Minimal routing never makes
+        # the back direction productive, so this only bites packets that
+        # previously detoured around a fault — and for those it is what
+        # prevents a detour from ping-ponging between two routers.
+        exclude = (
+            port
+            if port < routing.NUM_MESH_PORTS and self.network.faults_fired
+            else -1
+        )
+        best = self._scan_outputs(candidates, allowed, borrowable, packet,
+                                  exclude)
+        if best is None and self.network.faults_fired:
+            # Every turn-model-legal port may be structurally unusable
+            # (failed, disconnected, or the arrival port).  Only then
+            # widen — a merely credit-blocked candidate keeps the turn
+            # model intact and simply waits.
+            usable = any(
+                p in self.neighbors
+                and p not in self.failed_outputs
+                and p != exclude
+                for p in candidates
+                if p != routing.PORT_EJECT
+            )
+            if not usable:
+                # Fault-boundary traversal: try minimal directions in
+                # order, then turn right of the primary direction, then
+                # left, then reverse — strict priority, first
+                # allocatable port wins (unlike the credit-adaptive
+                # scan above).  Combined with the no-backtrack rule
+                # this walks a packet deterministically around a fault
+                # region; pathological multi-fault layouts can still
+                # trap one, and the stall watchdog backstops those
+                # with a diagnosis.
+                minimal = routing.minimal_ports(
+                    self.grid, self.node, packet.dst
+                )
+                primary = minimal[0]
+                order = list(minimal) + [
+                    routing.turn_right(primary),
+                    routing.turn_left(primary),
+                    routing.opposite(primary),
+                ]
+                tried = set()
+                for p in order:
+                    if p in tried:
+                        continue
+                    tried.add(p)
+                    best = self._scan_outputs(
+                        (p,), allowed, borrowable, packet, exclude
+                    )
+                    if best is not None:
+                        break
+        if best is None:
+            return
+        _, out_port, out_vc = best
+        out = self.outputs[out_port]
+        out.owner[out_vc] = (port, vc)
+        ivc.out_port = out_port
+        ivc.out_vc = out_vc
+        self.network.stats.vc_allocs += 1
+
+    def _scan_outputs(
+        self,
+        ports: Sequence[int],
+        allowed: Sequence[int],
+        borrowable: Sequence[int],
+        packet: "object",
+        exclude: int = -1,
+    ) -> Optional[Tuple[int, int, int]]:
+        """Best allocatable ``(credits, out_port, out_vc)`` among ``ports``."""
+        failed = self.failed_outputs
+        best: Optional[Tuple[int, int, int]] = None
+        for out_port in ports:
             if out_port == routing.PORT_EJECT:
-                continue  # handled above; cannot happen for dst != node
+                continue  # dst != node here; ejection handled separately
+            if out_port == exclude:
+                continue
             if out_port not in self.neighbors:
+                continue
+            if failed and out_port in failed:
                 continue
             out = self.outputs[out_port]
             free = out.free_vcs(allowed)
@@ -316,14 +398,7 @@ class Router:
             total = out.total_credits(allowed)
             if best is None or total > best[0]:
                 best = (total, out_port, out_vc)
-        if best is None:
-            return
-        _, out_port, out_vc = best
-        out = self.outputs[out_port]
-        out.owner[out_vc] = (port, vc)
-        ivc.out_port = out_port
-        ivc.out_vc = out_vc
-        self.network.stats.vc_allocs += 1
+        return best
 
     def _allocate_eject(self, port: int, vc: int, ivc: InputVC) -> None:
         packet = ivc.queue[0].packet

@@ -36,6 +36,20 @@ def opposite(port: int) -> int:
     return _OPPOSITE[port]
 
 
+_RIGHT = {PORT_E: PORT_S, PORT_S: PORT_W, PORT_W: PORT_N, PORT_N: PORT_E}
+_LEFT = {v: k for k, v in _RIGHT.items()}
+
+
+def turn_right(port: int) -> int:
+    """90-degree clockwise turn (+y is south, so E -> S -> W -> N)."""
+    return _RIGHT[port]
+
+
+def turn_left(port: int) -> int:
+    """90-degree counter-clockwise turn (E -> N -> W -> S)."""
+    return _LEFT[port]
+
+
 def port_delta(port: int) -> tuple:
     """The coordinate delta a mesh port moves a flit by."""
     return {
@@ -93,6 +107,30 @@ def odd_even_routes(grid: Grid, cur: int, src: int, dst: int) -> List[int]:
         if cx % 2 == 0 and ey != 0:
             avail.append(vertical)
     return avail
+
+
+def minimal_ports(grid: Grid, cur: int, dst: int) -> List[int]:
+    """Every productive mesh port toward ``dst``, ignoring turn models.
+
+    Fault-avoidance fallback: when all turn-model-legal ports at a
+    router have failed, a packet may take any other minimal port (or,
+    if those are gone too, a one-hop perpendicular detour — see
+    ``Router._route_and_allocate``).  The turn-model guarantee is
+    traded for availability; the stall watchdog backstops the rare
+    fault layouts that still trap a packet.
+    """
+    cx, cy = grid.coord(cur)
+    dx, dy = grid.coord(dst)
+    out: List[int] = []
+    if dx > cx:
+        out.append(PORT_E)
+    if dx < cx:
+        out.append(PORT_W)
+    if dy > cy:
+        out.append(PORT_S)
+    if dy < cy:
+        out.append(PORT_N)
+    return out
 
 
 _ROUTE_CACHE: Dict[Tuple[int, int, str, int, int, int], Tuple[int, ...]] = {}

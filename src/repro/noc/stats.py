@@ -73,6 +73,16 @@ class NetworkStats:
         self.packets_created = 0
         self.packets_delivered = 0
         self.bits_delivered = 0
+        # Dropped-flit ledger (fault injection).  ``flits_dropped``
+        # counts flits that were already counted as injected but were
+        # reclaimed off a failed link — it appears in the flit
+        # conservation equation.  ``flits_reclaimed`` counts flits
+        # cleared from an NI buffer before they were ever injected
+        # (bookkeeping only).  ``packets_recovered`` counts packets
+        # returned to an NI source queue for re-selection.
+        self.flits_dropped = 0
+        self.flits_reclaimed = 0
+        self.packets_recovered = 0
         # Heat map: per-router flit residence.
         self.residence_cycles = np.zeros(num_nodes, dtype=np.int64)
         self.residence_count = np.zeros(num_nodes, dtype=np.int64)
@@ -153,6 +163,9 @@ class NetworkStats:
             "packets_created": self.packets_created,
             "packets_delivered": self.packets_delivered,
             "bits_delivered": self.bits_delivered,
+            "flits_dropped": self.flits_dropped,
+            "flits_reclaimed": self.flits_reclaimed,
+            "packets_recovered": self.packets_recovered,
             "residence_cycles": self.residence_cycles.tolist(),
             "residence_count": self.residence_count.tolist(),
             "latency": {
@@ -181,6 +194,9 @@ class NetworkStats:
         self.packets_created += other.packets_created
         self.packets_delivered += other.packets_delivered
         self.bits_delivered += other.bits_delivered
+        self.flits_dropped += other.flits_dropped
+        self.flits_reclaimed += other.flits_reclaimed
+        self.packets_recovered += other.packets_recovered
         self.residence_cycles += other.residence_cycles
         self.residence_count += other.residence_count
         for t in PacketType:

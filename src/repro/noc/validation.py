@@ -163,6 +163,9 @@ def audit_network(net: Network, strict_classes: bool = True) -> AuditReport:
         "packets_delivered": stats.packets_delivered,
         "ni_backlog": census.source_backlog,
         "receive_queued": census.receive_queued,
+        "flits_dropped": stats.flits_dropped,
+        "flits_reclaimed": stats.flits_reclaimed,
+        "packets_recovered": stats.packets_recovered,
     }
     return AuditReport(
         network=net.name, cycle=net.cycle, problems=problems, counters=counters
@@ -394,6 +397,13 @@ def _check_ni_buffers(net: Network) -> List[str]:
     for ni in net.nis:
         for idx, buf in enumerate(ni.buffers):
             label = f"NI {ni.node} buffer {idx} (-> router {buf.target_node})"
+            if buf.failed and (buf.flits or buf.cur_vc is not None):
+                problems.append(
+                    f"{label}: quarantined but holds "
+                    f"{len(buf.flits)} flit(s), cur_vc {buf.cur_vc}"
+                )
+            if buf.draining and buf.cur_vc is None:
+                problems.append(f"{label}: draining without a held VC")
             pids = {flit.packet.pid for flit in buf.flits}
             if len(pids) > 1:
                 problems.append(f"{label}: flits of {len(pids)} packets")
@@ -423,12 +433,16 @@ def _check_ni_buffers(net: Network) -> List[str]:
 def _check_flit_conservation(net: Network, census: _Census) -> List[str]:
     stats = net.stats
     in_flight = census.buffered + census.link_flits
-    accounted = in_flight + stats.flits_ejected
+    # ``flits_dropped`` is the fault-injection ledger: flits counted as
+    # injected but reclaimed off a failed link.  A reclaimed flit that
+    # is later retransmitted is counted as injected again, so the
+    # equation stays exact under faults without disabling the audit.
+    accounted = in_flight + stats.flits_ejected + stats.flits_dropped
     if stats.flits_injected != accounted:
         return [
             f"flit conservation: injected {stats.flits_injected} != "
             f"buffered {census.buffered} + on-link {census.link_flits} + "
-            f"ejected {stats.flits_ejected}"
+            f"ejected {stats.flits_ejected} + dropped {stats.flits_dropped}"
         ]
     return []
 

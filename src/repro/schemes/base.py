@@ -413,6 +413,23 @@ class Fabric:
             if role in ("reply", "both", "cmesh")
         ]
 
+    def networks_by_role(self, role: str) -> List[Network]:
+        """Networks a fault role name applies to (fault injection).
+
+        ``reply``/``request`` match the corresponding dedicated networks
+        plus a shared single network; ``any`` matches everything,
+        overlays included.
+        """
+        roles = {
+            "reply": ("reply", "both"),
+            "request": ("request", "both"),
+            "any": ("request", "reply", "both", "cmesh"),
+        }[role]
+        return [
+            net for net, _ratio, net_role in self.networks
+            if net_role in roles
+        ]
+
     def reply_backlog(self, cb: int) -> int:
         """Packets queued in CB ``cb``'s reply NI(s) awaiting buffers."""
         ni = self.reply_nis[cb]

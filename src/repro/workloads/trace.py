@@ -36,8 +36,40 @@ class TraceEntry:
         )
 
     @staticmethod
-    def from_line(line: str) -> "TraceEntry":
-        cycle, is_read, cb_index, row_hit, dependent = json.loads(line)
+    def from_line(line: str, context: str = "") -> "TraceEntry":
+        """Parse one trace line, naming the source in every error.
+
+        ``context`` (e.g. ``" (trace.jsonl:7)"``) is appended to the
+        message, so a truncated or hand-edited trace fails pointing at
+        the exact file and line instead of a bare json traceback.
+        """
+        try:
+            fields = json.loads(line)
+        except ValueError:
+            raise ValueError(
+                f"trace line is not valid JSON{context}: {line[:80]!r}"
+            ) from None
+        if not isinstance(fields, list) or len(fields) != 5:
+            raise ValueError(
+                "trace line must be a JSON list of 5 fields "
+                f"[cycle, is_read, cb, row_hit, dependent]{context}: "
+                f"{line[:80]!r}"
+            )
+        cycle, is_read, cb_index, row_hit, dependent = fields
+        if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 1:
+            raise ValueError(
+                f"trace cycle must be a positive integer{context}: "
+                f"{cycle!r}"
+            )
+        if (
+            not isinstance(cb_index, int)
+            or isinstance(cb_index, bool)
+            or cb_index < 0
+        ):
+            raise ValueError(
+                f"trace cb index must be a non-negative integer{context}: "
+                f"{cb_index!r}"
+            )
         return TraceEntry(
             cycle=cycle,
             is_read=bool(is_read),
@@ -105,11 +137,19 @@ class TraceSource:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceSource":
+        """Load a JSON-lines trace; errors name the file and line."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ValueError(f"cannot read trace file {path}: {exc}") from None
         entries = [
-            TraceEntry.from_line(line)
-            for line in Path(path).read_text().splitlines()
+            TraceEntry.from_line(line, context=f" ({path}:{lineno})")
+            for lineno, line in enumerate(text.splitlines(), start=1)
             if line.strip()
         ]
+        if not entries:
+            raise ValueError(f"trace file {path} contains no entries")
         return cls(entries)
 
     @property

@@ -71,12 +71,25 @@ class TestOutputArbitrationModulus:
         assert winners.count(hi) >= 4
 
 
+class _StubBuffer:
+    """Just the policy surface ``_select_buffer`` reads."""
+
+    def __init__(self):
+        self.free = True
+        self.failed = False
+        self.draining = False
+
+    @property
+    def available(self):
+        return self.free and not self.failed and not self.draining
+
+
 class TestEirBufferSelection:
     def _ni(self, choices):
         """A minimal stand-in carrying just the state the policy reads."""
         size = 1 + max((i for c in choices.values() for i in c), default=0)
         return SimpleNamespace(
-            buffers=[SimpleNamespace(free=True) for _ in range(size)],
+            buffers=[_StubBuffer() for _ in range(size)],
             _choices=choices,
             _rr={},
         )

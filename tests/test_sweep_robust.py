@@ -1,0 +1,223 @@
+"""Sweep robustness: timeouts, retries, journalling, crash-safe resume."""
+
+import json
+import time
+
+import pytest
+
+from repro.harness import cache, runner
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.runner import (
+    CellTimeout,
+    SweepJournal,
+    SweepCell,
+    _config_digest,
+    _run_cell,
+    _wall_clock_limit,
+    retry_seed,
+    run_sweep,
+    sweep,
+)
+
+CFG = ExperimentConfig(quota=8, mcts_iterations=10)
+GRID = dict(schemes=["EquiNox", "SeparateBase"], benchmarks=["hotspot"])
+
+
+def _cells():
+    return runner.expand_grid(GRID["schemes"], GRID["benchmarks"], CFG)
+
+
+class TestWallClockLimit:
+    def test_fires_on_overrun(self):
+        with pytest.raises(CellTimeout):
+            with _wall_clock_limit(0.05):
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    pass
+
+    def test_noop_when_disabled(self):
+        with _wall_clock_limit(0):
+            pass
+
+    def test_timer_cleared_after_body(self):
+        with _wall_clock_limit(0.2):
+            pass
+        time.sleep(0.25)  # the alarm must not fire after the block
+
+
+class TestRetries:
+    def test_retry_seed_is_deterministic_and_distinct(self):
+        assert retry_seed(7, 1) == retry_seed(7, 1)
+        assert retry_seed(7, 1) != retry_seed(7, 2)
+        assert retry_seed(7, 1) != 7
+
+    def test_second_attempt_recovers(self, monkeypatch):
+        calls = []
+
+        def flaky(scheme, benchmark, config):
+            calls.append(config.seed)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            from repro.harness.metrics import ExperimentResult, LatencyNs
+
+            return ExperimentResult(
+                scheme=scheme, benchmark=benchmark, width=8, cycles=1,
+                instructions=1, energy_nj=0.0, area_mm2=0.0,
+                latency=LatencyNs(), reply_bits_fraction=0.0,
+            )
+
+        monkeypatch.setattr(runner, "run_experiment", flaky)
+        outcome = _run_cell(_cells()[0], retries=2, backoff_s=0.0)
+        assert outcome.ok
+        assert outcome.attempts == 2
+        # The retry ran under a fresh deterministic seed.
+        assert calls == [CFG.seed, retry_seed(CFG.seed, 1)]
+        assert outcome.seed_used == retry_seed(CFG.seed, 1)
+
+    def test_exhausted_retries_record_failure(self, monkeypatch):
+        def always(scheme, benchmark, config):
+            raise RuntimeError("permanent")
+
+        monkeypatch.setattr(runner, "run_experiment", always)
+        outcome = _run_cell(_cells()[0], retries=1, backoff_s=0.0)
+        assert not outcome.ok
+        assert outcome.attempts == 2
+        assert outcome.error_type == "RuntimeError"
+        assert "permanent" in outcome.error
+
+    def test_timeout_recorded(self, monkeypatch):
+        def hang(scheme, benchmark, config):
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                pass
+
+        monkeypatch.setattr(runner, "run_experiment", hang)
+        start = time.monotonic()
+        outcome = _run_cell(_cells()[0], cell_timeout=0.1)
+        assert time.monotonic() - start < 5
+        assert not outcome.ok
+        assert outcome.timed_out
+        assert outcome.error_type == "CellTimeout"
+
+    def test_keyboard_interrupt_propagates(self, monkeypatch):
+        def interrupted(scheme, benchmark, config):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(runner, "run_experiment", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            _run_cell(_cells()[0], retries=5)
+
+    def test_system_exit_propagates(self, monkeypatch):
+        def exiting(scheme, benchmark, config):
+            raise SystemExit(3)
+
+        monkeypatch.setattr(runner, "run_experiment", exiting)
+        with pytest.raises(SystemExit):
+            _run_cell(_cells()[0], retries=5)
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "not-a-number")
+        with pytest.raises(ValueError, match="REPRO_RETRIES"):
+            run_sweep([])
+        monkeypatch.setenv("REPRO_RETRIES", "2")
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "bogus")
+        with pytest.raises(ValueError, match="REPRO_CELL_TIMEOUT"):
+            run_sweep([])
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "1.5")
+        report = run_sweep([])  # empty grid: knobs parsed, nothing run
+        assert report.outcomes == []
+
+
+class TestJournal:
+    def test_config_digest_sensitivity(self):
+        a = _config_digest(CFG)
+        assert a == _config_digest(ExperimentConfig(quota=8,
+                                                    mcts_iterations=10))
+        assert a != _config_digest(ExperimentConfig(quota=9,
+                                                    mcts_iterations=10))
+
+    def test_records_and_resume_bit_identical(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        full = sweep(**GRID, config=CFG, journal=journal)
+        assert all(o.ok and not o.from_journal for o in full.outcomes)
+        records = SweepJournal(journal).load()
+        assert len(records) == len(full.outcomes)
+        resumed = sweep(**GRID, config=CFG, journal=journal, resume=True)
+        assert all(o.from_journal for o in resumed.outcomes)
+        for before, after in zip(full.outcomes, resumed.outcomes):
+            assert after.result == before.result  # bit-identical restore
+
+    def test_partial_journal_resumes_missing_cells(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        full = sweep(**GRID, config=CFG, journal=journal)
+        lines = journal.read_text().splitlines()
+        # Simulate a kill: first record intact, second torn mid-write.
+        journal.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        resumed = sweep(**GRID, config=CFG, journal=journal, resume=True)
+        from_journal = [o.from_journal for o in resumed.outcomes]
+        assert from_journal == [True, False]
+        for before, after in zip(full.outcomes, resumed.outcomes):
+            assert after.result == before.result
+        # The re-run cell was journalled again: resume is idempotent.
+        assert len(SweepJournal(journal).load()) == 2
+
+    def test_stale_config_not_reused(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        sweep(**GRID, config=CFG, journal=journal)
+        other = ExperimentConfig(quota=9, mcts_iterations=10)
+        resumed = sweep(**GRID, config=other, journal=journal, resume=True)
+        assert not any(o.from_journal for o in resumed.outcomes)
+
+    def test_failed_cells_rerun_on_resume(self, tmp_path, monkeypatch):
+        journal = tmp_path / "sweep.journal"
+
+        def boom(scheme, benchmark, config):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner, "run_experiment", boom)
+        failed = run_sweep(_cells(), journal=journal)
+        assert not any(o.ok for o in failed.outcomes)
+        monkeypatch.undo()
+        resumed = run_sweep(_cells(), journal=journal, resume=True)
+        assert all(o.ok and not o.from_journal for o in resumed.outcomes)
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        journal.write_text(
+            "not json at all\n"
+            + json.dumps({"schema": 99, "scheme": "X"}) + "\n"
+            + json.dumps(["wrong", "shape"]) + "\n"
+        )
+        assert SweepJournal(journal).load() == {}
+        missing = SweepJournal(tmp_path / "nope.journal")
+        assert missing.load() == {}
+
+
+class TestCacheEvictions:
+    def test_corrupt_entry_counted_and_removed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        assert cache.corrupt_evictions() == 0
+        cache.placement("diamond", 8)
+        (entry,) = tmp_path.glob("placement-*.json")
+        cache.clear()  # drop tier 1 so the next read hits disk
+        entry.write_text("{not json")
+        result = cache.placement("diamond", 8)
+        assert result.nodes  # recomputed fine
+        assert cache.corrupt_evictions() == 1
+        # Evicted then rewritten by the recompute.
+        assert json.loads(entry.read_text())["nodes"]
+        cache.clear()
+
+    def test_semantically_corrupt_design_evicted(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        cache.placement("diamond", 8)
+        (entry,) = tmp_path.glob("placement-*.json")
+        cache.clear()
+        entry.write_text(json.dumps({"name": "diamond"}))  # missing keys
+        cache.placement("diamond", 8)
+        assert cache.corrupt_evictions() == 1
+        cache.clear()
+        assert cache.corrupt_evictions() == 0

@@ -91,3 +91,38 @@ class TestReplay:
         source = TraceSource([])
         assert source.exhausted
         assert source.maybe_issue() is None
+
+
+class TestMalformedTraces:
+    def test_invalid_json_names_file_and_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('[1, 1, 0, 1, 0]\n{torn garbage\n')
+        with pytest.raises(ValueError, match=r"bad\.jsonl:2"):
+            TraceSource.load(path)
+
+    def test_wrong_shape_rejected(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('[1, 1, 0]\n')  # truncated field list
+        with pytest.raises(ValueError, match="list of 5 fields"):
+            TraceSource.load(path)
+        path.write_text('{"cycle": 1}\n')
+        with pytest.raises(ValueError, match="list of 5 fields"):
+            TraceSource.load(path)
+
+    def test_bad_field_types_rejected(self):
+        with pytest.raises(ValueError, match="cycle must be a positive"):
+            TraceEntry.from_line('["one", 1, 0, 1, 0]')
+        with pytest.raises(ValueError, match="cycle must be a positive"):
+            TraceEntry.from_line('[0, 1, 0, 1, 0]')
+        with pytest.raises(ValueError, match="cb index"):
+            TraceEntry.from_line('[1, 1, -2, 1, 0]')
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="no entries"):
+            TraceSource.load(path)
+
+    def test_missing_file_raises_value_error(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read trace file"):
+            TraceSource.load(tmp_path / "nope.jsonl")

@@ -1,21 +1,29 @@
 #!/usr/bin/env python
 """Micro-benchmark of the simulator's tick hot path.
 
-Two workloads bracket the inner loop:
+Three workloads bracket the inner loop:
 
-* ``synthetic`` — uniform random traffic on a bare 8x8 network, which
-  spends nearly all its time in ``Network.tick`` / ``Router.tick`` /
-  NI ``tick`` (the loop the hot-path optimisations target);
+* ``synthetic`` — uniform random traffic on a bare 8x8 network at a
+  moderate rate, which spends nearly all its time in ``Network.tick`` /
+  ``Router.tick`` / NI ``tick`` (the loop the hot-path optimisations
+  target);
+* ``low_load`` — uniform traffic on a 16x16 network at a 0.2% injection
+  rate, where most routers and NIs are idle most cycles — the regime
+  the active-set scheduler exists for;
 * ``system`` — one full (scheme, benchmark) cell through the GPU model,
   the shape every harness sweep repeats hundreds of times.
 
 Run::
 
     PYTHONPATH=src python benchmarks/perf_tick.py [--repeat N]
+        [--scheduler dense|active|both]
 
 and compare the cycles/second figures across commits.  The checksum is
 a digest of the network statistics, so a perf change that alters
-simulated behaviour is visible immediately.
+simulated behaviour is visible immediately.  With ``--scheduler both``
+(the default) every workload runs under the dense oracle and the
+active-set scheduler and the benchmark *fails* (exit 1) if their
+checksums diverge — the same differential guard CI runs.
 
 Reference numbers are recorded in ``results/perf_tick.txt`` (written on
 every run) and quoted in CHANGES.md.
@@ -26,6 +34,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import sys
 import time
 from pathlib import Path
 
@@ -34,19 +43,25 @@ from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.workloads.synthetic import run_uniform
 
 
-def bench_synthetic(repeat: int) -> dict:
-    """Uniform random traffic: the bare network tick loop."""
+def _time_best(repeat: int, fn):
     best = None
     result = None
     for _ in range(repeat):
         start = time.perf_counter()
-        result = run_uniform(Grid(8), injection_rate=0.08, cycles=4000, seed=1)
+        result = fn()
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
-    snap = result.network.stats.snapshot() if hasattr(
-        result.network.stats, "snapshot") else {"received": result.received}
+    return best, result
+
+
+def bench_synthetic(repeat: int, scheduler: str) -> dict:
+    """Uniform random traffic: the bare network tick loop."""
+    best, result = _time_best(repeat, lambda: run_uniform(
+        Grid(8), injection_rate=0.08, cycles=4000, seed=1,
+        scheduler=scheduler,
+    ))
     checksum = hashlib.sha256(
-        json.dumps(snap, sort_keys=True).encode()
+        json.dumps(result.network.stats.snapshot(), sort_keys=True).encode()
     ).hexdigest()[:10]
     return {
         "name": "synthetic",
@@ -58,48 +73,128 @@ def bench_synthetic(repeat: int) -> dict:
     }
 
 
-def bench_system(repeat: int) -> dict:
+def bench_low_load(repeat: int, scheduler: str) -> dict:
+    """Sparse traffic on a big mesh: mostly-idle routers and NIs."""
+    best, result = _time_best(repeat, lambda: run_uniform(
+        Grid(16), injection_rate=0.002, cycles=3000, seed=1,
+        scheduler=scheduler,
+    ))
+    checksum = hashlib.sha256(
+        json.dumps(result.network.stats.snapshot(), sort_keys=True).encode()
+    ).hexdigest()[:10]
+    return {
+        "name": "low_load",
+        "cycles": result.cycles,
+        "seconds": best,
+        "cycles_per_s": result.cycles / best,
+        "checksum": checksum,
+        "received": result.received,
+    }
+
+
+def bench_system(repeat: int, scheduler: str) -> dict:
     """One full-system experiment cell (SeparateBase x kmeans)."""
-    config = ExperimentConfig(quota=40, mcts_iterations=40)
-    best = None
-    result = None
-    for _ in range(repeat):
-        start = time.perf_counter()
-        result = run_experiment("SeparateBase", "kmeans", config)
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
+    config = ExperimentConfig(quota=40, mcts_iterations=40,
+                              scheduler=scheduler)
+    best, result = _time_best(
+        repeat, lambda: run_experiment("SeparateBase", "kmeans", config)
+    )
     return {
         "name": "system",
         "cycles": result.cycles,
         "seconds": best,
         "cycles_per_s": result.cycles / best,
-        "checksum": f"{result.cycles}/{result.instructions}",
+        "checksum": f"{result.cycles}/{result.instructions}/"
+                    f"{result.stats_fingerprint[:10]}",
         "received": result.instructions,
     }
 
 
-def main() -> None:
+BENCHES = (bench_synthetic, bench_low_load, bench_system)
+
+
+def slots_note() -> str:
+    """Per-instance size of the hot allocation classes (all slotted).
+
+    ``__slots__`` removes the per-instance ``__dict__`` (~104 bytes on
+    CPython 3.11) from the classes the tick loop allocates or touches
+    millions of times.
+    """
+    import sys as _sys
+
+    from repro.mem.hbm import MemoryAccess
+    from repro.noc.stats import LatencyAccumulator
+    from repro.noc.types import Flit, Packet, PacketType
+    from repro.workloads.generator import GeneratedRequest
+
+    packet = Packet(1, PacketType.READ_REQUEST, 0, 1, 1, 0)
+    samples = [
+        ("Packet", packet),
+        ("Flit", Flit(packet, 0, True, True)),
+        ("GeneratedRequest", GeneratedRequest(True, 0, True)),
+        ("MemoryAccess", MemoryAccess(None, True, True, 0)),
+        ("LatencyAccumulator", LatencyAccumulator()),
+    ]
+    parts = []
+    for name, obj in samples:
+        assert not hasattr(obj, "__dict__"), f"{name} grew a __dict__"
+        parts.append(f"{name} {_sys.getsizeof(obj)} B")
+    return "slotted hot classes (no per-instance __dict__): " + ", ".join(
+        parts
+    )
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeat", type=int, default=3,
                         help="take the best of N runs (default 3)")
+    parser.add_argument("--scheduler", default="both",
+                        choices=["dense", "active", "both"],
+                        help="tick discipline to benchmark; 'both' also "
+                             "cross-checks the checksums (default)")
     args = parser.parse_args()
 
+    schedulers = (
+        ["dense", "active"] if args.scheduler == "both" else [args.scheduler]
+    )
     lines = ["perf_tick — simulator hot-path micro-benchmark"]
-    for bench in (bench_synthetic, bench_system):
-        row = bench(args.repeat)
-        line = (
-            f"{row['name']:<10} {row['cycles']:>8} cycles  "
-            f"{row['seconds']:.3f} s  "
-            f"{row['cycles_per_s']:>10.0f} cycles/s  "
-            f"checksum {row['checksum']}"
-        )
-        print(line, flush=True)
-        lines.append(line)
+    diverged = False
+    for bench in BENCHES:
+        rows = {}
+        for scheduler in schedulers:
+            row = bench(args.repeat, scheduler)
+            rows[scheduler] = row
+            line = (
+                f"{row['name']:<10} {scheduler:<7} {row['cycles']:>8} cycles  "
+                f"{row['seconds']:.3f} s  "
+                f"{row['cycles_per_s']:>10.0f} cycles/s  "
+                f"checksum {row['checksum']}"
+            )
+            print(line, flush=True)
+            lines.append(line)
+        if len(rows) == 2:
+            dense, active = rows["dense"], rows["active"]
+            if dense["checksum"] != active["checksum"]:
+                line = (f"{dense['name']:<10} CHECKSUM DIVERGENCE: "
+                        f"dense {dense['checksum']} != "
+                        f"active {active['checksum']}")
+                diverged = True
+            else:
+                speedup = active["cycles_per_s"] / dense["cycles_per_s"]
+                line = (f"{dense['name']:<10} active/dense speedup "
+                        f"{speedup:.2f}x (checksums match)")
+            print(line, flush=True)
+            lines.append(line)
+
+    line = slots_note()
+    print(line, flush=True)
+    lines.append(line)
 
     results_dir = Path(__file__).resolve().parent.parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "perf_tick.txt").write_text("\n".join(lines) + "\n")
+    return 1 if diverged else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

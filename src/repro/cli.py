@@ -57,6 +57,13 @@ def _add_validation(parser: argparse.ArgumentParser) -> None:
              "fault specs or {\"faults\": [...]}); same format as "
              "REPRO_FAULTS",
     )
+    parser.add_argument(
+        "--scheduler", choices=["dense", "active"], default="",
+        help="tick discipline: 'active' skips workless components and "
+             "fast-forwards quiescent gaps, 'dense' walks everything "
+             "(the differential oracle); default = REPRO_SCHEDULER env "
+             "or active — both are bit-identical",
+    )
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
@@ -93,6 +100,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         validate=getattr(args, "validate", 0),
         watchdog_cycles=getattr(args, "watchdog_cycles", 0),
         faults=faults,
+        scheduler=getattr(args, "scheduler", ""),
     )
 
 

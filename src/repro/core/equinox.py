@@ -50,6 +50,13 @@ class EquiNoxDesign:
             f" (repeaters needed: {self.rdl_plan.needs_repeaters()})",
             f"  evaluation score: {self.evaluation.score:.4f}",
         ]
+        if self.search is not None and self.search.eval_cache_lookups:
+            lines.append(
+                f"  MCTS eval cache: {self.search.eval_cache_hits}/"
+                f"{self.search.eval_cache_lookups} hits "
+                f"({self.search.eval_cache_hit_rate:.1%}), "
+                f"{self.search.designs_evaluated} unique designs scored"
+            )
         for group in self.eir_design.groups:
             x, y = self.grid.coord(group.cb)
             eirs = [self.grid.coord(n) for n in group.nodes]

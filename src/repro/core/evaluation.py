@@ -22,10 +22,10 @@ UCB backpropagation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..physical import interposer
-from .eir import EirDesign, shortest_path_eirs
+from .eir import EirDesign, EirGroup, shortest_path_eirs
 from .grid import Grid
 
 DEFAULT_WEIGHTS: Mapping[str, float] = {
@@ -104,47 +104,175 @@ def _baseline_avg_hops(grid: Grid, placement: Sequence[int]) -> float:
     return total / (len(placement) * len(pes))
 
 
+def _finalize(
+    grid: Grid,
+    placement: Sequence[int],
+    num_links: int,
+    raw: Dict[str, float],
+    baseline_hops: float,
+    weights: Optional[Mapping[str, float]],
+) -> EvalResult:
+    """Normalise raw metrics and combine them into the scalar score."""
+    weights = dict(DEFAULT_WEIGHTS if weights is None else weights)
+    num_pes = grid.size - len(placement)
+    max_links = 4 * len(placement)
+    normalized = {
+        # A design with no EIRs funnels all num_pes shares through one
+        # router, so num_pes is the worst case.
+        "max_load": raw["max_load"] / num_pes if num_pes else 0.0,
+        "avg_hops": raw["avg_hops"] / baseline_hops,
+        # Each crossing forces another RDL layer somewhere; normalising
+        # per link keeps a handful of crossings clearly visible to the
+        # search (a combinatorial worst case would drown them out).
+        "crossings": raw["crossings"] / num_links if num_links else 0.0,
+        # Worst case: the maximum number of links, all at max distance.
+        "link_length": (
+            raw["link_length"] / (max_links * 3) if max_links else 0.0
+        ),
+    }
+    score = sum(weights[name] * normalized[name] for name in normalized)
+    return EvalResult(raw=raw, normalized=normalized, score=score)
+
+
 def evaluate(
     design: EirDesign,
     weights: Optional[Mapping[str, float]] = None,
 ) -> EvalResult:
     """Evaluate a complete EIR design; lower scores are better."""
-    weights = dict(DEFAULT_WEIGHTS if weights is None else weights)
     grid = design.grid
     plan = interposer.plan_for_design(design)
 
     loads = injection_loads(design)
-    max_load = max(loads.values()) if loads else 0.0
-    avg_hops = average_hops(design)
-    crossings = float(plan.num_crossings)
-    link_length = float(design.total_link_length())
-
-    num_pes = grid.size - len(design.placement)
-    num_links = len(design.links())
-    max_links = 4 * len(design.placement)
-
     raw = {
-        "max_load": max_load,
-        "avg_hops": avg_hops,
-        "crossings": crossings,
-        "link_length": link_length,
+        "max_load": max(loads.values()) if loads else 0.0,
+        "avg_hops": average_hops(design),
+        "crossings": float(plan.num_crossings),
+        "link_length": float(design.total_link_length()),
     }
-    normalized = {
-        # A design with no EIRs funnels all num_pes shares through one
-        # router, so num_pes is the worst case.
-        "max_load": max_load / num_pes if num_pes else 0.0,
-        "avg_hops": avg_hops / _baseline_avg_hops(grid, design.placement),
-        # Each crossing forces another RDL layer somewhere; normalising
-        # per link keeps a handful of crossings clearly visible to the
-        # search (a combinatorial worst case would drown them out).
-        "crossings": crossings / num_links if num_links else 0.0,
-        # Worst case: the maximum number of links, all at max distance.
-        "link_length": (
-            link_length / (max_links * 3) if max_links else 0.0
-        ),
-    }
-    score = sum(weights[name] * normalized[name] for name in normalized)
-    return EvalResult(raw=raw, normalized=normalized, score=score)
+    return _finalize(
+        grid, design.placement, len(design.links()), raw,
+        _baseline_avg_hops(grid, design.placement), weights,
+    )
+
+
+class _Fragment:
+    """One CB's exact traffic contribution under one EIR group.
+
+    ``points`` are the injection points to pre-register, ``adds`` the
+    ordered ``(injection_point, share)`` additions the CB performs in
+    :func:`injection_loads`, and ``hops`` its per-destination effective
+    hop values from :func:`average_hops`, all in PE-destination order.
+    Storing the addition *sequence* rather than pre-summed totals keeps
+    the replayed floating-point arithmetic identical to the direct
+    functions, operation for operation.
+    """
+
+    __slots__ = ("points", "adds", "hops")
+
+    def __init__(
+        self,
+        points: Tuple[int, ...],
+        adds: List[Tuple[int, float]],
+        hops: List[float],
+    ) -> None:
+        self.points = points
+        self.adds = adds
+        self.hops = hops
+
+
+class IncrementalEvaluator:
+    """Memoizing evaluator that reuses per-CB traffic fragments.
+
+    A CB's contribution to :func:`injection_loads` and
+    :func:`average_hops` depends only on its *own* EIR group
+    (:func:`~repro.core.eir.shortest_path_eirs` never consults other
+    groups), so successive MCTS rollouts — which typically differ from
+    an already-seen design in a single CB's group — recompute one
+    fragment instead of the whole O(CBs x PEs) traffic model.
+    Fragments are keyed by the canonical ``(cb, group.eirs)`` tuple and
+    replayed in placement order, preserving the exact float-addition
+    sequence, so results are bit-identical to :func:`evaluate` and the
+    search commits the same design either way.  Crossing count and link
+    length remain per-design (crossings are a pairwise property of the
+    complete link set) but are cheap by comparison.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        placement: Sequence[int],
+        weights: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        self.grid = grid
+        self.placement = tuple(placement)
+        self.weights = weights
+        cb_set = set(self.placement)
+        self._pes = [n for n in grid.nodes() if n not in cb_set]
+        self._baseline_hops = _baseline_avg_hops(grid, self.placement)
+        self._fragments: Dict[Tuple[int, tuple], _Fragment] = {}
+
+    def _fragment(self, group: EirGroup) -> _Fragment:
+        key = (group.cb, group.eirs)
+        frag = self._fragments.get(key)
+        if frag is None:
+            frag = self._compute_fragment(group)
+            self._fragments[key] = frag
+        return frag
+
+    def _compute_fragment(self, group: EirGroup) -> _Fragment:
+        grid = self.grid
+        cb = group.cb
+        nodes = group.nodes
+        adds: List[Tuple[int, float]] = []
+        hops_list: List[float] = []
+        for dst in self._pes:
+            base = grid.hops(cb, dst)
+            choices = [
+                node for node in nodes
+                if grid.hops(cb, node) + grid.hops(node, dst) == base
+            ]
+            if choices:
+                hops = sum(1 + grid.hops(e, dst) for e in choices) / len(
+                    choices
+                )
+            else:
+                hops = 1 + base - 1  # local injection
+            hops_list.append(hops)
+            loaded = choices if choices else [cb]
+            share = 1.0 / len(loaded)
+            for inj in loaded:
+                adds.append((inj, share))
+        return _Fragment((cb,) + nodes, adds, hops_list)
+
+    def evaluate(self, groups: Sequence[EirGroup]) -> EvalResult:
+        """Evaluate a complete design given as one group per CB."""
+        by_cb = {g.cb: g for g in groups}
+        loads: Dict[int, float] = {}
+        total = 0.0
+        pairs = 0
+        for cb in self.placement:
+            frag = self._fragment(by_cb[cb])
+            for inj in frag.points:
+                loads.setdefault(inj, 0.0)
+            for inj, share in frag.adds:
+                loads[inj] += share
+            for hops in frag.hops:
+                total += hops
+            pairs += len(frag.hops)
+        design = EirDesign(
+            grid=self.grid, placement=self.placement, groups=tuple(groups)
+        )
+        plan = interposer.plan_for_design(design)
+        raw = {
+            "max_load": max(loads.values()) if loads else 0.0,
+            "avg_hops": total / pairs if pairs else 0.0,
+            "crossings": float(plan.num_crossings),
+            "link_length": float(design.total_link_length()),
+        }
+        return _finalize(
+            self.grid, self.placement, len(design.links()), raw,
+            self._baseline_hops, self.weights,
+        )
 
 
 def reward(result: EvalResult) -> float:

@@ -62,6 +62,17 @@ class SearchResult:
     designs_evaluated: int
     nodes_expanded: int
     best_score_trace: Tuple[float, ...]
+    # Evaluation-memoization telemetry: rollouts that reached an
+    # already-scored design are cache hits and cost no re-evaluation.
+    eval_cache_lookups: int = 0
+    eval_cache_hits: int = 0
+
+    @property
+    def eval_cache_hit_rate(self) -> float:
+        """Fraction of state evaluations served from the memo cache."""
+        if not self.eval_cache_lookups:
+            return 0.0
+        return self.eval_cache_hits / self.eval_cache_lookups
 
 
 class EirSearch:
@@ -78,8 +89,13 @@ class EirSearch:
         self.config = config or SearchConfig()
         self._rng = random.Random(self.config.seed)
         self._eval_cache: Dict[Tuple[EirGroup, ...], evaluation.EvalResult] = {}
+        self._evaluator = evaluation.IncrementalEvaluator(
+            grid, self.placement, self.config.weights
+        )
         self.designs_evaluated = 0
         self.nodes_expanded = 0
+        self.eval_cache_lookups = 0
+        self.eval_cache_hits = 0
 
     # ------------------------------------------------------------------
     # Action model
@@ -118,12 +134,22 @@ class EirSearch:
         )
 
     def evaluate_state(self, state: Sequence[EirGroup]) -> evaluation.EvalResult:
+        """Score a complete design, memoized on the canonical group tuple.
+
+        Misses are scored through the :class:`~repro.core.evaluation.
+        IncrementalEvaluator`, which reuses per-CB traffic fragments
+        across designs; both layers are bit-identical to a direct
+        :func:`~repro.core.evaluation.evaluate` call.
+        """
         key = tuple(state)
+        self.eval_cache_lookups += 1
         cached = self._eval_cache.get(key)
         if cached is None:
-            cached = evaluation.evaluate(self._design(state), self.config.weights)
+            cached = self._evaluator.evaluate(key)
             self._eval_cache[key] = cached
             self.designs_evaluated += 1
+        else:
+            self.eval_cache_hits += 1
         return cached
 
     # ------------------------------------------------------------------
@@ -158,6 +184,8 @@ class EirSearch:
             designs_evaluated=self.designs_evaluated,
             nodes_expanded=self.nodes_expanded,
             best_score_trace=tuple(trace),
+            eval_cache_lookups=self.eval_cache_lookups,
+            eval_cache_hits=self.eval_cache_hits,
         )
 
     def _search_level(self, committed: Sequence[EirGroup]) -> Node:
@@ -224,4 +252,6 @@ def random_search(
         designs_evaluated=search.designs_evaluated,
         nodes_expanded=0,
         best_score_trace=tuple(trace),
+        eval_cache_lookups=search.eval_cache_lookups,
+        eval_cache_hits=search.eval_cache_hits,
     )

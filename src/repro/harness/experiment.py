@@ -54,6 +54,11 @@ class ExperimentConfig:
     # arm a whole sweep without threading a flag through); an armed but
     # never-firing plan leaves results bit-identical.
     faults: Tuple[FaultSpec, ...] = ()
+    # Tick discipline: "active" (skip workless components, fast-forward
+    # quiescent gaps) or "dense" (walk everything — the differential
+    # oracle).  Empty defers to REPRO_SCHEDULER, defaulting to active.
+    # Both produce bit-identical stats fingerprints.
+    scheduler: str = ""
 
 
 def default_config() -> ExperimentConfig:
@@ -75,12 +80,15 @@ def build_fabric(
             seed=config.seed,
         )
         return Fabric(
-            scheme, grid, design.placement.nodes, equinox_design=design
+            scheme, grid, design.placement.nodes, equinox_design=design,
+            scheduler=config.scheduler or None,
         )
     placement = cache.placement(
         scheme.placement_name, config.width, config.num_cbs
     )
-    return Fabric(scheme, grid, placement.nodes)
+    return Fabric(
+        scheme, grid, placement.nodes, scheduler=config.scheduler or None
+    )
 
 
 def _latency_ns(fabric: Fabric) -> LatencyNs:

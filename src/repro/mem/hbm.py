@@ -15,7 +15,8 @@ depth.  Both emerge from this channel/bus model.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..noc.types import CACHE_LINE_BYTES
@@ -45,16 +46,32 @@ class HbmTiming:
         return self.channels * self.bytes_per_cycle_per_channel
 
 
-@dataclass
 class MemoryAccess:
-    """One line access submitted by a cache bank."""
+    """One line access submitted by a cache bank.
 
-    token: object
-    is_read: bool
-    row_hit: bool
-    submit_cycle: int
-    channel: int = -1
-    complete_cycle: float = 0.0
+    A plain slotted class rather than a dataclass: accesses are the
+    highest-volume heap objects of a memory-bound run, and ``__slots__``
+    with defaulted dataclass fields would need Python >= 3.10.
+    """
+
+    __slots__ = ("token", "is_read", "row_hit", "submit_cycle", "channel",
+                 "complete_cycle")
+
+    def __init__(
+        self,
+        token: object,
+        is_read: bool,
+        row_hit: bool,
+        submit_cycle: int,
+        channel: int = -1,
+        complete_cycle: float = 0.0,
+    ) -> None:
+        self.token = token
+        self.is_read = is_read
+        self.row_hit = row_hit
+        self.submit_cycle = submit_cycle
+        self.channel = channel
+        self.complete_cycle = complete_cycle
 
 
 class HbmStack:
@@ -122,6 +139,23 @@ class HbmStack:
         return done
 
     # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future core cycle this stack can act (None = idle).
+
+        Valid between ticks: completion pops happen at the ceiling of
+        their float completion time, and a queued channel serves as
+        soon as its bus frees.  Used to bound quiescence fast-forward.
+        """
+        nxt: Optional[float] = None
+        if self._completions:
+            nxt = self._completions[0][0]
+        for ch, queue in enumerate(self._queues):
+            if queue and (nxt is None or self._bus_free[ch] < nxt):
+                nxt = self._bus_free[ch]
+        if nxt is None:
+            return None
+        return max(math.ceil(nxt), cycle + 1)
+
     def pending(self) -> int:
         return sum(len(q) for q in self._queues) + len(self._completions)
 

@@ -342,6 +342,16 @@ class FaultInjector:
         events.sort(key=lambda ev: (ev[0], ev[1], ev[2] == "heal"))
         self._events = events
 
+    def next_event_cycle(self) -> Optional[int]:
+        """Base cycle of the next unfired event (None when exhausted).
+
+        Quiescence fast-forward must not jump past a scheduled fault:
+        the system run loop caps any clock skip at this cycle.
+        """
+        if self._next >= len(self._events):
+            return None
+        return self._events[self._next][0]
+
     # ------------------------------------------------------------------
     # Binding
     # ------------------------------------------------------------------
@@ -485,6 +495,7 @@ class FaultInjector:
                 stats.flits_reclaimed += packet.size - len(wire)
                 buf.flits.clear()
                 target.ni.source_queue.appendleft(packet)
+                net.wake_ni(target.ni)
                 stats.packets_recovered += 1
                 buf.failed = True
             else:
@@ -499,6 +510,7 @@ class FaultInjector:
             stats.flits_reclaimed += len(buf.flits)
             buf.flits.clear()
             target.ni.source_queue.appendleft(packet)
+            net.wake_ni(target.ni)
             stats.packets_recovered += 1
             buf.failed = True
         else:

@@ -171,6 +171,9 @@ class SerializationCore:
 class NetworkInterface:
     """Base NI: unbounded source queue feeding one local buffer."""
 
+    __slots__ = ("network", "node", "source_queue", "buffers", "core",
+                 "core_rate", "_net_index")
+
     def __init__(
         self,
         network: Network,
@@ -205,6 +208,7 @@ class NetworkInterface:
         packet.created = self.network.cycle
         self.network.stats.packets_created += 1
         self.source_queue.append(packet)
+        self.network.wake_ni(self)
 
     def has_work(self) -> bool:
         """Whether ticking this NI this cycle could have any effect."""
@@ -248,6 +252,8 @@ class NetworkInterface:
 class MultiPortInterface(NetworkInterface):
     """NI with ``k`` buffers, each on its own port of the local router."""
 
+    __slots__ = ()
+
     def __init__(
         self,
         network: Network,
@@ -272,6 +278,8 @@ class EquiNoxInterface(NetworkInterface):
     shortest-path EIR buffer (round-robin when two qualify), falling
     back to the local buffer, else stalling — Buffer Selection 1.
     """
+
+    __slots__ = ("_eir_buffer", "num_idle_buffers", "_choices", "_rr")
 
     def __init__(
         self,

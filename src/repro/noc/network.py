@@ -10,10 +10,20 @@ Event model: router arbitration is processed per-router within a cycle,
 but every effect (flit arrival downstream, credit return upstream) is
 scheduled at least one cycle in the future, so intra-cycle processing
 order cannot leak between routers.
+
+Scheduling: two tick disciplines produce bit-identical behaviour.  The
+*dense* scheduler walks every router and NI each cycle (the
+differential-testing oracle); the *active* scheduler (default) visits
+only armed components — routers holding flits and NIs with queued
+packets or loaded buffers — and relies on every work-creating event
+(flit arrival, NI enqueue, fault requeue) waking the affected
+component.  Round-robin pointers advance only on wins, so skipping a
+workless component is exactly equivalent to visiting it.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
@@ -22,6 +32,21 @@ from . import routing
 from .router import OutputPort, Router
 from .stats import NetworkStats
 from .types import Flit, Packet
+
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+SCHEDULERS = ("dense", "active")
+
+
+def resolve_scheduler(value: Optional[str] = None) -> str:
+    """Normalise a scheduler choice (arg > ``REPRO_SCHEDULER`` > active)."""
+    if not value:
+        value = os.environ.get(SCHEDULER_ENV, "")
+    value = (value or "active").strip().lower()
+    if value not in SCHEDULERS:
+        raise ValueError(
+            f"unknown scheduler {value!r}; expected one of {SCHEDULERS}"
+        )
+    return value
 
 
 class Network:
@@ -41,8 +66,11 @@ class Network:
         monopolize: bool = False,
         monopolize_injection: bool = False,
         interposer_mesh_links: bool = False,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.name = name
+        self.scheduler = resolve_scheduler(scheduler)
+        self._active_scheduler = self.scheduler == "active"
         self.grid = grid
         self.flit_bytes = flit_bytes
         self.num_vcs = num_vcs
@@ -84,7 +112,12 @@ class Network:
                 self.upstream[(nbr, nbr_port)] = router.outputs[port]
         self._arrivals: Dict[int, List[Tuple]] = {}
         self._credits: Dict[int, List[Tuple[OutputPort, int]]] = {}
+        # Active-set state: router nodes holding flits, and the
+        # registration indices of NIs with pending work.  Maintained
+        # only under the active scheduler; the dense scheduler walks
+        # everything unconditionally and serves as the oracle.
         self.active: set = set()
+        self._active_nis: set = set()
         # Set (and never cleared) by the fault injector once any fault
         # actually fires in this network.  Routers then forbid sending
         # a flit back out its arrival port — a move only a fault detour
@@ -97,6 +130,7 @@ class Network:
         # Delivered packets queued per node (all eject ports): lets
         # pop_delivered return immediately for the common empty case.
         self._delivered: Dict[int, int] = {}
+        self._delivered_total = 0
         self.last_progress = 0  # cycle of the most recent committed move
         # Optional injection hook: called as hook(buffer, flit, cycle)
         # when an NI buffer sends a head flit.  Tracers attach here; the
@@ -133,7 +167,13 @@ class Network:
         return self.routers[node].add_eject_port(capacity)
 
     def register_ni(self, ni: "object") -> None:
+        ni._net_index = len(self.nis)
         self.nis.append(ni)
+
+    def wake_ni(self, ni: "object") -> None:
+        """Arm an NI that just gained work (enqueue or fault requeue)."""
+        if self._active_scheduler:
+            self._active_nis.add(ni._net_index)
 
     # ------------------------------------------------------------------
     # Event scheduling (used by routers and NIs)
@@ -196,6 +236,7 @@ class Network:
                 packet, eject_port = queue.popleft()
                 eject_port.credits[0] += packet.size
                 self._delivered[node] -= 1
+                self._delivered_total -= 1
                 if rotate:
                     # Advance past the port that actually served, and
                     # only on a successful pop — rotating on empty scans
@@ -214,6 +255,8 @@ class Network:
         cycle = self.cycle
         self.stats.cycles += 1
 
+        active = self._active_scheduler
+
         for port, vc in self._credits.pop(cycle, ()):  # credit returns
             port.credits[vc] += 1
 
@@ -223,25 +266,53 @@ class Network:
             else:
                 self.routers[node].accept(port, vc, flit, cycle)
                 self.stats.buffer_writes += 1
-                self.active.add(node)
+                if active:
+                    self.active.add(node)
 
+        # NIs.  All effects (flit onto a link, core reservation) are
+        # local to the NI or scheduled >= 1 cycle ahead, and an NI only
+        # gains work outside its own tick via enqueue / fault requeue —
+        # both of which wake it — so visiting only armed NIs (in
+        # registration order, matching the dense walk over ``nis``) is
+        # bit-identical to visiting all of them.
+        if active:
+            if self._active_nis:
+                idle_nis: List[int] = []
+                nis = self.nis
+                for idx in sorted(self._active_nis):
+                    ni = nis[idx]
+                    ni.tick(cycle)
+                    if not ni.has_work():
+                        idle_nis.append(idx)
+                for idx in idle_nis:
+                    self._active_nis.discard(idx)
+            routers = self.routers
+            finished: List[int] = []
+            for node in sorted(self.active):
+                router = routers[node]
+                moves = router.tick(cycle)
+                for in_port, in_vc, out_port, out_vc, flit in moves:
+                    self._commit(
+                        router, in_port, in_vc, out_port, out_vc, flit, cycle
+                    )
+                if router.flit_count == 0:
+                    finished.append(node)
+            for node in finished:
+                self.active.discard(node)
+            return
+
+        # Dense oracle: unconditionally walk every NI and router.  A
+        # workless component's tick is a no-op (rr pointers advance only
+        # on wins), so this is behaviourally identical to the active
+        # path — and catches any missed wake as a fingerprint mismatch.
         for ni in self.nis:
-            # An NI with no queued packets and empty buffers cannot do
-            # anything this cycle; skipping it keeps the per-cycle cost
-            # proportional to actual traffic, not to NI count.
-            if ni.has_work():
-                ni.tick(cycle)
-
-        finished: List[int] = []
-        for node in self.active:
-            router = self.routers[node]
+            ni.tick(cycle)
+        for router in self.routers:
             moves = router.tick(cycle)
             for in_port, in_vc, out_port, out_vc, flit in moves:
-                self._commit(router, in_port, in_vc, out_port, out_vc, flit, cycle)
-            if router.flit_count == 0:
-                finished.append(node)
-        for node in finished:
-            self.active.discard(node)
+                self._commit(
+                    router, in_port, in_vc, out_port, out_vc, flit, cycle
+                )
 
     def _commit(
         self,
@@ -285,6 +356,7 @@ class Network:
             (packet, packet.eject_port)
         )
         self._delivered[node] = self._delivered.get(node, 0) + 1
+        self._delivered_total += 1
         inject = packet.inject_router if packet.inject_router is not None else packet.src
         hops = self.grid.hops(inject, node)
         # Zero-load pipeline: 1 cycle NI link + 1 cycle per hop + 1 cycle
@@ -293,16 +365,59 @@ class Network:
         self.stats.record_delivery(packet, non_queuing)
 
     # ------------------------------------------------------------------
+    # Quiescence (fast-forward support)
+    # ------------------------------------------------------------------
+    def skip_cycle(self) -> None:
+        """Advance the clock over one provably-empty cycle.
+
+        Only valid when :meth:`quiescent` holds: a tick of a fully
+        quiescent network does nothing but increment ``cycle`` and
+        ``stats.cycles``, so skipping is bit-identical to ticking.
+        """
+        self.cycle += 1
+        self.stats.cycles += 1
+
+    def quiescent(self) -> bool:
+        """Nothing scheduled, buffered, queued or awaiting pop.
+
+        Stronger than :meth:`idle`: pending credit returns and
+        delivered-but-unpopped packets also block quiescence, because a
+        tick (or an external pop) could still change state.
+        """
+        if self._arrivals or self._credits or self._delivered_total:
+            return False
+        if self._active_scheduler:
+            return not self.active and not self._active_nis
+        return self.in_flight() == 0 and all(
+            not ni.has_work() for ni in self.nis
+        )
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def in_flight(self) -> int:
         """Flits buffered in routers plus scheduled arrivals."""
-        buffered = sum(r.flit_count for r in self.routers)
+        if self._active_scheduler:
+            routers = self.routers
+            buffered = sum(routers[n].flit_count for n in self.active)
+        else:
+            buffered = sum(r.flit_count for r in self.routers)
         scheduled = sum(len(v) for v in self._arrivals.values())
         return buffered + scheduled
 
     def idle(self) -> bool:
         """No flits anywhere and no NI has pending work."""
+        if self._active_scheduler:
+            # Active-set invariants: every buffered flit's router is in
+            # ``active`` and every NI with work is armed (NI.idle() is
+            # exactly not-has_work()).  Pending arrivals land in
+            # ``_arrivals``; pending credits don't count here (matching
+            # the dense computation below).
+            return (
+                not self.active
+                and not self._active_nis
+                and not self._arrivals
+            )
         if self.in_flight():
             return False
         return all(ni.idle() for ni in self.nis)

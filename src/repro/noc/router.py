@@ -214,6 +214,12 @@ class Router:
 
         Each move is ``(in_port, in_vc, out_port, out_vc, flit)``; the
         network commits them (link scheduling, credits, statistics).
+
+        Round-robin pointers (``rr_in`` per input port, ``out.rr`` per
+        output) advance lazily — only when an arbitration is actually
+        won — so ticking an empty router is a strict no-op and the
+        active scheduler may skip it without perturbing later
+        arbitration order.
         """
         # --- Per-input-port arbitration (separable, input first) -----
         requests: List[Tuple[int, int, int, int]] = []  # in_port, in_vc, out_port, out_vc

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -19,19 +18,24 @@ import numpy as np
 from .types import Packet, PacketType
 
 
-@dataclass
 class LatencyAccumulator:
-    """Running latency sums for one packet type."""
+    """Running latency sums for one packet type.
 
-    count: int = 0
-    total: int = 0
-    queuing: int = 0
-    non_queuing: int = 0
-    # Samples whose modelled zero-load latency exceeded the measured
-    # total (clamped to keep queuing non-negative).  A non-zero count
-    # means the zero-load model overestimates some path — a bug in the
-    # pipeline model, not in the workload — so tests assert it stays 0.
-    clamped: int = 0
+    ``clamped`` counts samples whose modelled zero-load latency exceeded
+    the measured total (clamped to keep queuing non-negative).  A
+    non-zero count means the zero-load model overestimates some path —
+    a bug in the pipeline model, not in the workload — so tests assert
+    it stays 0.
+    """
+
+    __slots__ = ("count", "total", "queuing", "non_queuing", "clamped")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.queuing = 0
+        self.non_queuing = 0
+        self.clamped = 0
 
     def add(self, total: int, non_queuing: int) -> None:
         self.count += 1

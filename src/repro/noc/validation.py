@@ -151,6 +151,7 @@ def audit_network(net: Network, strict_classes: bool = True) -> AuditReport:
     problems.extend(_check_ni_buffers(net))
     problems.extend(_check_flit_conservation(net, census))
     problems.extend(_check_packet_conservation(net, census))
+    problems.extend(_check_scheduler_sets(net))
     stats = net.stats
     counters = {
         "flits_injected": stats.flits_injected,
@@ -467,5 +468,48 @@ def _check_packet_conservation(net: Network, census: _Census) -> List[str]:
         problems.append(
             f"delivered-count drift: _delivered total {queued} != "
             f"receive-queue occupancy {census.receive_queued}"
+        )
+    if net._delivered_total != census.receive_queued:
+        problems.append(
+            f"delivered-total drift: _delivered_total "
+            f"{net._delivered_total} != receive-queue occupancy "
+            f"{census.receive_queued}"
+        )
+    return problems
+
+
+def _check_scheduler_sets(net: Network) -> List[str]:
+    """Active-set completeness and minimality (active scheduler only).
+
+    Between ticks the router active set must equal the set of routers
+    holding flits, and the NI active set must equal the set of NIs with
+    pending work — a missed wake here is exactly the bug class that
+    would make the active scheduler diverge from the dense oracle.
+    """
+    if not net._active_scheduler:
+        return []
+    problems = []
+    with_flits = {r.node for r in net.routers if r.flit_count}
+    missing = with_flits - net.active
+    stale = net.active - with_flits
+    if missing:
+        problems.append(
+            f"scheduler: routers with flits not in active set: "
+            f"{sorted(missing)}"
+        )
+    if stale:
+        problems.append(
+            f"scheduler: empty routers left in active set: {sorted(stale)}"
+        )
+    with_work = {i for i, ni in enumerate(net.nis) if ni.has_work()}
+    ni_missing = with_work - net._active_nis
+    ni_stale = net._active_nis - with_work
+    if ni_missing:
+        problems.append(
+            f"scheduler: NIs with work not armed: {sorted(ni_missing)}"
+        )
+    if ni_stale:
+        problems.append(
+            f"scheduler: workless NIs left armed: {sorted(ni_stale)}"
         )
     return problems

@@ -22,7 +22,7 @@ from ..noc.interface import (
     MultiPortInterface,
     NetworkInterface,
 )
-from ..noc.network import Network
+from ..noc.network import Network, resolve_scheduler
 from ..noc.topology import CmeshEnvelope, CmeshMap, build_cmesh
 from ..noc.types import Packet, PacketType, packet_flits
 
@@ -71,9 +71,13 @@ class Fabric:
         placement: Sequence[int],
         equinox_design: Optional[EquiNoxDesign] = None,
         max_packet_flits: Optional[int] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         self.config = config
         self.grid = grid
+        # Tick discipline shared by every network of this fabric
+        # ("active" skips workless components, "dense" is the oracle).
+        self.scheduler = resolve_scheduler(scheduler)
         self.placement = tuple(placement)
         self.equinox_design = equinox_design
         self.cb_set = frozenset(placement)
@@ -99,6 +103,7 @@ class Fabric:
                 vc_classes=vc_classes,
                 monopolize=config.monopolize,
                 monopolize_injection=config.monopolize_injection,
+                scheduler=self.scheduler,
             )
             self.request_net = net
             self.reply_net = net
@@ -112,6 +117,7 @@ class Fabric:
                 vc_capacity=vc_cap,
                 routing_algorithm=config.routing,
                 vc_classes=[tuple(range(config.num_vcs))],
+                scheduler=self.scheduler,
             )
             self._add_network(self.request_net, 1.0, "request")
             if not config.da2mesh:
@@ -123,6 +129,7 @@ class Fabric:
                     vc_capacity=vc_cap,
                     routing_algorithm=config.routing,
                     vc_classes=[tuple(range(config.num_vcs))],
+                    scheduler=self.scheduler,
                 )
                 self._add_network(self.reply_net, 1.0, "reply")
             else:
@@ -150,6 +157,7 @@ class Fabric:
                     vc_classes=[tuple(range(config.num_vcs))],
                     clock_ratio=config.da2mesh_clock_ratio,
                     eject_capacity=narrow_eject,
+                    scheduler=self.scheduler,
                 )
                 self.reply_subnets.append(subnet)
                 self._add_network(subnet, config.da2mesh_clock_ratio, "reply")
@@ -170,6 +178,7 @@ class Fabric:
                 vc_capacity=data_flits_cm,
                 routing_algorithm=config.routing,
                 vc_classes=[(0,), (1,)],
+                scheduler=self.scheduler,
             )
             self._add_network(
                 self.cmesh_net, 1.0, "cmesh"
@@ -388,6 +397,27 @@ class Fabric:
 
     def idle(self) -> bool:
         return all(net.idle() for net, _r, _role in self.networks)
+
+    def quiescent(self) -> bool:
+        """Every network is provably empty (fast-forward eligible)."""
+        return all(net.quiescent() for net, _r, _role in self.networks)
+
+    def fast_forward(self, cycles: int) -> None:
+        """Skip ``cycles`` base cycles of a fully quiescent fabric.
+
+        Replays the clock-ratio accumulator arithmetic cycle by cycle
+        (cheap: no component is visited) so the float accumulator state
+        and every network's ``cycle``/``stats.cycles`` counters end up
+        bit-identical to ticking the same span of empty cycles.
+        """
+        acc = self._ratio_acc
+        networks = self.networks
+        for _ in range(cycles):
+            for i, (net, ratio, _role) in enumerate(networks):
+                acc[i] += ratio
+                while acc[i] >= 1.0:
+                    net.skip_cycle()
+                    acc[i] -= 1.0
 
     def last_progress(self) -> int:
         """Most recent base cycle any network moved a flit (approximate)."""

@@ -10,7 +10,6 @@ the profile's intensity.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from .profiles import WorkloadProfile
@@ -19,15 +18,26 @@ BURST_PERIOD = 64
 """Mean cycles between activity-phase switches."""
 
 
-@dataclass
 class GeneratedRequest:
-    """One memory instruction a PE wants to issue."""
+    """One memory instruction a PE wants to issue.
 
-    is_read: bool
-    cb_index: int
-    row_hit: bool
-    dependent: bool = False
-    """Must wait for the previously issued instruction's reply."""
+    ``dependent`` marks instructions that must wait for the previously
+    issued instruction's reply.
+    """
+
+    __slots__ = ("is_read", "cb_index", "row_hit", "dependent")
+
+    def __init__(
+        self,
+        is_read: bool,
+        cb_index: int,
+        row_hit: bool,
+        dependent: bool = False,
+    ) -> None:
+        self.is_read = is_read
+        self.cb_index = cb_index
+        self.row_hit = row_hit
+        self.dependent = dependent
 
 
 class RequestGenerator:

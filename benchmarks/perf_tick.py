@@ -1,19 +1,10 @@
 #!/usr/bin/env python
 """Micro-benchmark of the simulator's tick hot path.
 
-Three workloads bracket the inner loop:
-
-* ``synthetic`` — uniform random traffic on a bare 8x8 network at a
-  moderate rate, which spends nearly all its time in ``Network.tick`` /
-  ``Router.tick`` / NI ``tick`` (the loop the hot-path optimisations
-  target);
-* ``low_load`` — uniform traffic on a 16x16 network at a 0.2% injection
-  rate, where most routers and NIs are idle most cycles — the regime
-  the active-set scheduler exists for;
-* ``system`` — one full (scheme, benchmark) cell through the GPU model,
-  the shape every harness sweep repeats hundreds of times.
-
-Run::
+Thin wrapper over :mod:`repro.harness.bench`, which owns the scenario
+definitions (``synthetic``, ``low_load``, ``system``) and the
+``BENCH.json`` regression gate that CI runs via ``repro bench``.  This
+script keeps the historical developer workflow:
 
     PYTHONPATH=src python benchmarks/perf_tick.py [--repeat N]
         [--scheduler dense|active|both]
@@ -32,85 +23,10 @@ every run) and quoted in CHANGES.md.
 from __future__ import annotations
 
 import argparse
-import hashlib
-import json
 import sys
-import time
 from pathlib import Path
 
-from repro.core.grid import Grid
-from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.workloads.synthetic import run_uniform
-
-
-def _time_best(repeat: int, fn):
-    best = None
-    result = None
-    for _ in range(repeat):
-        start = time.perf_counter()
-        result = fn()
-        elapsed = time.perf_counter() - start
-        best = elapsed if best is None else min(best, elapsed)
-    return best, result
-
-
-def bench_synthetic(repeat: int, scheduler: str) -> dict:
-    """Uniform random traffic: the bare network tick loop."""
-    best, result = _time_best(repeat, lambda: run_uniform(
-        Grid(8), injection_rate=0.08, cycles=4000, seed=1,
-        scheduler=scheduler,
-    ))
-    checksum = hashlib.sha256(
-        json.dumps(result.network.stats.snapshot(), sort_keys=True).encode()
-    ).hexdigest()[:10]
-    return {
-        "name": "synthetic",
-        "cycles": result.cycles,
-        "seconds": best,
-        "cycles_per_s": result.cycles / best,
-        "checksum": checksum,
-        "received": result.received,
-    }
-
-
-def bench_low_load(repeat: int, scheduler: str) -> dict:
-    """Sparse traffic on a big mesh: mostly-idle routers and NIs."""
-    best, result = _time_best(repeat, lambda: run_uniform(
-        Grid(16), injection_rate=0.002, cycles=3000, seed=1,
-        scheduler=scheduler,
-    ))
-    checksum = hashlib.sha256(
-        json.dumps(result.network.stats.snapshot(), sort_keys=True).encode()
-    ).hexdigest()[:10]
-    return {
-        "name": "low_load",
-        "cycles": result.cycles,
-        "seconds": best,
-        "cycles_per_s": result.cycles / best,
-        "checksum": checksum,
-        "received": result.received,
-    }
-
-
-def bench_system(repeat: int, scheduler: str) -> dict:
-    """One full-system experiment cell (SeparateBase x kmeans)."""
-    config = ExperimentConfig(quota=40, mcts_iterations=40,
-                              scheduler=scheduler)
-    best, result = _time_best(
-        repeat, lambda: run_experiment("SeparateBase", "kmeans", config)
-    )
-    return {
-        "name": "system",
-        "cycles": result.cycles,
-        "seconds": best,
-        "cycles_per_s": result.cycles / best,
-        "checksum": f"{result.cycles}/{result.instructions}/"
-                    f"{result.stats_fingerprint[:10]}",
-        "received": result.instructions,
-    }
-
-
-BENCHES = (bench_synthetic, bench_low_load, bench_system)
+from repro.harness.bench import SCENARIOS, checksum_divergence, run_scenario
 
 
 def slots_note() -> str:
@@ -159,30 +75,31 @@ def main() -> int:
     )
     lines = ["perf_tick — simulator hot-path micro-benchmark"]
     diverged = False
-    for bench in BENCHES:
+    for name in SCENARIOS:
         rows = {}
         for scheduler in schedulers:
-            row = bench(args.repeat, scheduler)
+            row = run_scenario(name, args.repeat, scheduler)
             rows[scheduler] = row
             line = (
-                f"{row['name']:<10} {scheduler:<7} {row['cycles']:>8} cycles  "
+                f"{name:<10} {scheduler:<7} {row['cycles']:>8} cycles  "
                 f"{row['seconds']:.3f} s  "
                 f"{row['cycles_per_s']:>10.0f} cycles/s  "
                 f"checksum {row['checksum']}"
             )
             print(line, flush=True)
             lines.append(line)
-        if len(rows) == 2:
-            dense, active = rows["dense"], rows["active"]
-            if dense["checksum"] != active["checksum"]:
-                line = (f"{dense['name']:<10} CHECKSUM DIVERGENCE: "
-                        f"dense {dense['checksum']} != "
-                        f"active {active['checksum']}")
-                diverged = True
-            else:
-                speedup = active["cycles_per_s"] / dense["cycles_per_s"]
-                line = (f"{dense['name']:<10} active/dense speedup "
-                        f"{speedup:.2f}x (checksums match)")
+        divergence = checksum_divergence(rows)
+        if divergence is not None:
+            line = (f"{name:<10} CHECKSUM DIVERGENCE: "
+                    f"dense {divergence[0]} != active {divergence[1]}")
+            diverged = True
+            print(line, flush=True)
+            lines.append(line)
+        elif len(rows) == 2:
+            speedup = (rows["active"]["cycles_per_s"]
+                       / rows["dense"]["cycles_per_s"])
+            line = (f"{name:<10} active/dense speedup "
+                    f"{speedup:.2f}x (checksums match)")
             print(line, flush=True)
             lines.append(line)
 

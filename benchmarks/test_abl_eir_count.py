@@ -10,7 +10,6 @@ from conftest import publish, quick_config
 
 from repro.core.eir import EirDesign, EirGroup
 from repro.core.equinox import design_from_groups
-from repro.core.grid import Grid
 from repro.harness import cache
 from repro.harness.experiment import run_with_fabric
 from repro.harness.metrics import format_table

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import __version__
@@ -64,6 +65,18 @@ def _add_validation(parser: argparse.ArgumentParser) -> None:
              "(the differential oracle); default = REPRO_SCHEDULER env "
              "or active — both are bit-identical",
     )
+    parser.add_argument(
+        "--telemetry", nargs="?", const=1, default=0, type=int,
+        metavar="N",
+        help="sample read-only telemetry probes every N cycles (bare "
+             "flag = the default interval; same as REPRO_TELEMETRY); "
+             "results keep the exact same stats fingerprint",
+    )
+    parser.add_argument(
+        "--telemetry-out", default="results/telemetry", metavar="DIR",
+        help="directory for telemetry export artifacts "
+             "(default results/telemetry)",
+    )
 
 
 def _cmd_design(args: argparse.Namespace) -> int:
@@ -101,6 +114,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         watchdog_cycles=getattr(args, "watchdog_cycles", 0),
         faults=faults,
         scheduler=getattr(args, "scheduler", ""),
+        telemetry=getattr(args, "telemetry", 0),
     )
 
 
@@ -122,6 +136,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{args.scheme} x {args.benchmark} "
           f"({args.width}x{args.width}, quota {args.quota})")
     print(format_table(("Metric", "Value"), rows))
+    if result.telemetry is not None:
+        from .telemetry import experiment_filename, write_json
+
+        path = Path(args.telemetry_out) / experiment_filename(
+            result.scheme, result.benchmark,
+            result.telemetry["config_digest"],
+        )
+        write_json(path, result.telemetry)
+        print(f"telemetry written to {path}")
     return 0
 
 
@@ -148,6 +171,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             rows.append(tuple([bench] + [normed[s] for s in schemes]))
         print(f"\n{label} (normalised to {schemes[0]})")
         print(format_table(tuple(["Benchmark"] + list(schemes)), rows))
+    cell_records = [
+        results[(s, b)].telemetry
+        for s in schemes for b in benchmarks
+        if results[(s, b)].telemetry is not None
+    ]
+    if cell_records:
+        from .harness.experiment import config_digest
+        from .telemetry import sweep_filename, sweep_records, write_jsonl
+
+        digest = config_digest(_experiment_config(args))
+        path = Path(args.telemetry_out) / sweep_filename(digest)
+        write_jsonl(
+            path, sweep_records(cell_records, __version__, digest)
+        )
+        print(f"\ntelemetry written to {path} "
+              f"({len(cell_records)} cells)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness.bench import (
+        compare_bench,
+        format_bench,
+        load_bench,
+        run_bench,
+        write_bench,
+    )
+
+    data = run_bench(
+        scenarios=args.scenarios or None,
+        repeat=args.repeat,
+        scheduler=args.scheduler,
+    )
+    baseline = None
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+    print(format_bench(data, baseline))
+    path = write_bench(args.output, data)
+    print(f"bench results written to {path}")
+    if baseline is not None:
+        violations = compare_bench(data, baseline,
+                                   tolerance=args.tolerance)
+        if violations:
+            print(f"\nbench gate FAILED vs {args.baseline}:",
+                  file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 1
+        print(f"bench gate passed vs {args.baseline} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -239,6 +312,31 @@ def build_parser() -> argparse.ArgumentParser:
                               "instead of recomputing them")
     _add_validation(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf scenarios; gate against a baseline"
+    )
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="take the best of N runs (default 3)")
+    p_bench.add_argument("--scheduler", choices=["dense", "active"],
+                         default="active",
+                         help="tick discipline to benchmark "
+                              "(default active)")
+    p_bench.add_argument("--scenarios", nargs="*", metavar="NAME",
+                         help="subset of scenarios to run "
+                              "(default: all)")
+    p_bench.add_argument("--output", default="BENCH.json",
+                         help="where to write the results "
+                              "(default BENCH.json)")
+    p_bench.add_argument("--baseline", metavar="PATH",
+                         help="gate against this BENCH.json: exit 1 on "
+                              "any checksum change or a cycles/s drop "
+                              "past --tolerance")
+    p_bench.add_argument("--tolerance", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="allowed fractional cycles/s regression "
+                              "(default 0.25)")
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_fig = sub.add_parser("figure", help="regenerate a light paper figure")
     _add_common(p_fig)

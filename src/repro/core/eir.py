@@ -18,8 +18,8 @@ shared between CBs (section 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from . import hotzone
 from .grid import AXIS_DIRECTIONS, Coord, Grid

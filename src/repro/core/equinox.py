@@ -13,7 +13,7 @@ EquiNox system: the placement, the EIR groups and the interposer plan.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from ..physical import interposer
 from . import evaluation, placement as placement_mod

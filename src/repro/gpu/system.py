@@ -19,7 +19,7 @@ before the watchdog window elapses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..mem.hbm import HbmTiming
@@ -63,6 +63,11 @@ class SystemConfig:
     # its on_cycle hook fires due fail/heal events at base-cycle
     # boundaries, before any component ticks.
     fault_injector: Optional[object] = None
+    # Optional telemetry registry (repro.telemetry.TelemetryRegistry),
+    # sampled every ``telemetry.interval`` base cycles.  Probes are
+    # read-only, so an enabled run stays bit-identical to a disabled
+    # one; disabled costs one ``is None`` test per cycle.
+    telemetry: Optional[object] = None
 
 
 @dataclass
@@ -130,6 +135,50 @@ class System:
         # Base cycles skipped by quiescence fast-forward (active
         # scheduler only; 0 under the dense oracle by construction).
         self.fast_forwarded_cycles = 0
+        telemetry = cfg.telemetry
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None  # NullTelemetry: nothing to sample
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._register_telemetry(telemetry)
+
+    # ------------------------------------------------------------------
+    def _register_telemetry(self, registry: "object") -> None:
+        """Register system-level probes (fabric and NI probes included).
+
+        Skipped fast-forward gaps are not sampled: every sample lands on
+        a simulated base cycle, so the series are deterministic for a
+        fixed (seed, config, scheduler).
+        """
+        self.fabric.register_telemetry(registry)
+        for node, bank in self.banks.items():
+            registry.register_series(
+                f"hbm.cb{node}.queue_depth",
+                lambda bank=bank: bank.memory.queue_depth(),
+            )
+        registry.register_series(
+            "hbm.queue_depth",
+            lambda: sum(
+                bank.memory.queue_depth() for bank in self.banks.values()
+            ),
+        )
+        registry.register_series(
+            "pe.instructions_issued",
+            lambda: sum(pe.issued for pe in self.pes.values()),
+        )
+        registry.register_final(
+            "system.fast_forwarded_cycles",
+            lambda: self.fast_forwarded_cycles,
+        )
+        registry.register_final("system.cycles", lambda: self.cycle)
+        registry.register_final(
+            "system.pe_stall_cycles",
+            lambda: sum(pe.stall_cycles for pe in self.pes.values()),
+        )
+        registry.register_final(
+            "system.cb_stall_cycles",
+            lambda: sum(bank.stall_cycles for bank in self.banks.values()),
+        )
 
     # ------------------------------------------------------------------
     def _skippable_cycles(
@@ -195,6 +244,8 @@ class System:
             validator = Validator(networks, interval=cfg.validate_interval)
         injector = cfg.fault_injector
         fast_forward = self.fabric.scheduler == "active"
+        telemetry = self.telemetry
+        t_interval = telemetry.interval if telemetry is not None else 0
         while self.cycle < cfg.max_cycles:
             self.cycle += 1
             cycle = self.cycle
@@ -224,6 +275,9 @@ class System:
             # 3. CBs accept requests, talk to memory, emit replies.
             for bank in banks:
                 bank.tick(cycle)
+            # 3.5 Telemetry sampling (read-only, interval-gated).
+            if telemetry is not None and cycle % t_interval == 0:
+                telemetry.sample(cycle)
             # 4. Periodic conservation audit (validation mode only).
             if validator is not None:
                 validator.on_cycle(cycle)
@@ -265,6 +319,9 @@ class System:
                         pe.fast_forward(skip)
                     for bank in banks:
                         bank.fast_forward(skip)
+        if telemetry is not None:
+            # Final-state sample (deduplicated if the loop just sampled).
+            telemetry.sample(self.cycle)
         return SystemResult(
             cycles=self.cycle,
             instructions=sum(pe.issued for pe in pes),

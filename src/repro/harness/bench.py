@@ -1,0 +1,265 @@
+"""Performance scenarios and the ``BENCH.json`` regression gate.
+
+Three scenarios bracket the simulator's tick hot path:
+
+* ``synthetic`` — uniform random traffic on a bare 8x8 network at a
+  moderate rate, dominated by ``Network.tick`` / ``Router.tick``;
+* ``low_load`` — uniform traffic on a 16x16 network at a 0.2% injection
+  rate, the mostly-idle regime the active-set scheduler exists for;
+* ``system`` — one full (scheme, benchmark) cell through the GPU model,
+  the shape every harness sweep repeats hundreds of times.
+
+Each scenario reports wall-clock throughput (cycles/s, best of
+``repeat`` runs) *and* a behaviour checksum over the simulated
+statistics.  ``compare_bench`` turns a current/baseline pair into a
+list of violations: a checksum change is always fatal (simulated
+behaviour drifted), a throughput drop is fatal past the tolerance.
+``repro bench`` wires this into CI as the bench-gate job against the
+committed ``BENCH_BASELINE.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from .. import __version__
+from ..core.grid import Grid
+from ..workloads.synthetic import run_uniform
+
+BENCH_SCHEMA = 1
+DEFAULT_TOLERANCE = 0.25
+
+_CALIBRATION_LOOPS = 2_000_000
+
+
+def calibrate(repeat: int = 3) -> float:
+    """Wall-clock seconds for a fixed pure-Python loop (best of N).
+
+    A machine-speed yardstick recorded alongside the scenario timings:
+    the gate scales the baseline's cycles/s by the calibration ratio,
+    so a run on a slower (or busier) machine is compared against what
+    the baseline machine would have scored at that speed, not against
+    its absolute numbers.
+    """
+    best = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        acc = 0
+        for i in range(_CALIBRATION_LOOPS):
+            acc += i
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _time_best(repeat: int, fn: Callable[[], object]):
+    """Best-of-N wall-clock timing; returns (seconds, last result)."""
+    best = None
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _network_checksum(result) -> str:
+    return hashlib.sha256(
+        json.dumps(result.network.stats.snapshot(), sort_keys=True).encode()
+    ).hexdigest()[:10]
+
+
+def _scenario_synthetic(repeat: int, scheduler: str) -> Dict[str, object]:
+    """Uniform random traffic: the bare network tick loop."""
+    best, result = _time_best(repeat, lambda: run_uniform(
+        Grid(8), injection_rate=0.08, cycles=4000, seed=1,
+        scheduler=scheduler,
+    ))
+    return {
+        "cycles": result.cycles,
+        "seconds": best,
+        "cycles_per_s": result.cycles / best,
+        "checksum": _network_checksum(result),
+        "received": result.received,
+    }
+
+
+def _scenario_low_load(repeat: int, scheduler: str) -> Dict[str, object]:
+    """Sparse traffic on a big mesh: mostly-idle routers and NIs."""
+    best, result = _time_best(repeat, lambda: run_uniform(
+        Grid(16), injection_rate=0.002, cycles=3000, seed=1,
+        scheduler=scheduler,
+    ))
+    return {
+        "cycles": result.cycles,
+        "seconds": best,
+        "cycles_per_s": result.cycles / best,
+        "checksum": _network_checksum(result),
+        "received": result.received,
+    }
+
+
+def _scenario_system(repeat: int, scheduler: str) -> Dict[str, object]:
+    """One full-system experiment cell (SeparateBase x kmeans)."""
+    from .experiment import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig(quota=40, mcts_iterations=40,
+                              scheduler=scheduler)
+    best, result = _time_best(
+        repeat, lambda: run_experiment("SeparateBase", "kmeans", config)
+    )
+    return {
+        "cycles": result.cycles,
+        "seconds": best,
+        "cycles_per_s": result.cycles / best,
+        "checksum": f"{result.cycles}/{result.instructions}/"
+                    f"{result.stats_fingerprint[:10]}",
+        "received": result.instructions,
+    }
+
+
+SCENARIOS: Dict[str, Callable[[int, str], Dict[str, object]]] = {
+    "synthetic": _scenario_synthetic,
+    "low_load": _scenario_low_load,
+    "system": _scenario_system,
+}
+
+
+def run_scenario(
+    name: str, repeat: int = 3, scheduler: str = "active"
+) -> Dict[str, object]:
+    """Run one named scenario under one scheduler."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench scenario {name!r}; "
+            f"known: {sorted(SCENARIOS)}"
+        ) from None
+    return fn(repeat, scheduler)
+
+
+def run_bench(
+    scenarios: Optional[Iterable[str]] = None,
+    repeat: int = 3,
+    scheduler: str = "active",
+) -> Dict[str, object]:
+    """Run the scenario suite; returns the BENCH.json payload."""
+    names = list(scenarios) if scenarios is not None else list(SCENARIOS)
+    return {
+        "schema": BENCH_SCHEMA,
+        "version": __version__,
+        "scheduler": scheduler,
+        "repeat": repeat,
+        "calibration_s": calibrate(),
+        "scenarios": {
+            name: run_scenario(name, repeat, scheduler) for name in names
+        },
+    }
+
+
+def write_bench(path, data: Dict[str, object]) -> Path:
+    """Write a BENCH payload as stable, human-diffable JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, sort_keys=True, indent=2) + "\n")
+    return path
+
+
+def load_bench(path) -> Dict[str, object]:
+    return json.loads(Path(path).read_text())
+
+
+def compare_bench(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[str]:
+    """Gate a current run against a baseline; returns violations.
+
+    * Any checksum change is a violation — simulated behaviour drifted,
+      no tolerance applies.
+    * A cycles/s figure below ``expected * (1 - tolerance)`` is a
+      violation, where ``expected`` is the baseline figure scaled by
+      the machines' calibration ratio (when both records carry
+      ``calibration_s``) — so a slower or busier machine is held to
+      what the baseline box would have scored at that speed, not to
+      its absolute numbers.
+    * A scenario present in the baseline but missing from the current
+      run is a violation (silent coverage loss).
+
+    Speedups and new scenarios never fail the gate.
+    """
+    violations: List[str] = []
+    scale = 1.0
+    base_cal = baseline.get("calibration_s")
+    cur_cal = current.get("calibration_s")
+    if base_cal and cur_cal:
+        scale = base_cal / cur_cal
+    base_rows = baseline.get("scenarios", {})
+    cur_rows = current.get("scenarios", {})
+    for name in sorted(base_rows):
+        base = base_rows[name]
+        cur = cur_rows.get(name)
+        if cur is None:
+            violations.append(f"{name}: missing from current run")
+            continue
+        if cur["checksum"] != base["checksum"]:
+            violations.append(
+                f"{name}: checksum changed "
+                f"{base['checksum']} -> {cur['checksum']} "
+                f"(simulated behaviour drifted)"
+            )
+        expected = base["cycles_per_s"] * scale
+        floor = expected * (1.0 - tolerance)
+        if cur["cycles_per_s"] < floor:
+            ratio = cur["cycles_per_s"] / expected
+            violations.append(
+                f"{name}: {cur['cycles_per_s']:.0f} cycles/s is "
+                f"{ratio:.2f}x the speed-adjusted baseline "
+                f"{expected:.0f} (floor {floor:.0f}, tolerance "
+                f"{tolerance:.0%}, machine-speed scale {scale:.2f})"
+            )
+    return violations
+
+
+def format_bench(
+    data: Dict[str, object],
+    baseline: Optional[Dict[str, object]] = None,
+) -> str:
+    """Plain-text table of a BENCH payload (optionally vs a baseline)."""
+    lines = [
+        f"bench — scheduler {data.get('scheduler')}, "
+        f"repeat {data.get('repeat')}, version {data.get('version')}"
+    ]
+    base_rows = (baseline or {}).get("scenarios", {})
+    for name, row in sorted(data.get("scenarios", {}).items()):
+        line = (
+            f"{name:<10} {row['cycles']:>8} cycles  "
+            f"{row['seconds']:.3f} s  "
+            f"{row['cycles_per_s']:>10.0f} cycles/s  "
+            f"checksum {row['checksum']}"
+        )
+        base = base_rows.get(name)
+        if base:
+            ratio = row["cycles_per_s"] / base["cycles_per_s"]
+            line += f"  ({ratio:.2f}x baseline)"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def checksum_divergence(
+    rows: Dict[str, Dict[str, object]]
+) -> Optional[Tuple[str, str]]:
+    """Checksum pair if two scheduler runs of one scenario diverge."""
+    if len(rows) != 2:
+        return None
+    a, b = rows.values()
+    if a["checksum"] != b["checksum"]:
+        return a["checksum"], b["checksum"]
+    return None

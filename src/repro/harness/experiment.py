@@ -9,7 +9,8 @@ figure generators consume.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..core.grid import Grid
@@ -23,7 +24,13 @@ from ..noc.types import PacketType
 from ..power.area import fabric_area
 from ..power.energy import fabric_energy
 from ..schemes import get_config
-from ..schemes.base import BASE_FREQUENCY_GHZ, Fabric, SchemeConfig
+from ..schemes.base import BASE_FREQUENCY_GHZ, Fabric
+from ..telemetry import (
+    SCHEMA_VERSION as TELEMETRY_SCHEMA,
+    TelemetryRegistry,
+    interval_from_env,
+    resolve_interval,
+)
 from ..workloads import profiles
 from . import cache
 from .metrics import ExperimentResult, LatencyNs
@@ -59,11 +66,28 @@ class ExperimentConfig:
     # oracle).  Empty defers to REPRO_SCHEDULER, defaulting to active.
     # Both produce bit-identical stats fingerprints.
     scheduler: str = ""
+    # Telemetry sampling interval in base cycles: 0 = off (the
+    # REPRO_TELEMETRY env var supplies a default, like REPRO_VALIDATE),
+    # 1 = the default interval, N > 1 = every N cycles.  Probes are
+    # read-only: enabling telemetry keeps stats_fingerprint
+    # bit-identical (differential-tested).
+    telemetry: int = 0
 
 
 def default_config() -> ExperimentConfig:
     """Table 1's configuration at harness scale."""
     return ExperimentConfig()
+
+
+def config_digest(config: ExperimentConfig) -> str:
+    """Short stable digest of a fully-resolved experiment config.
+
+    Keys the sweep journal and the telemetry artifacts: a record is
+    only trusted if the scheme, benchmark *and* every config knob
+    (seed, quota, fault plan, ...) match the producing run exactly.
+    """
+    payload = json.dumps(asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
 
 
 def build_fabric(
@@ -164,6 +188,10 @@ def run_with_fabric(
     injector: Optional[FaultInjector] = None
     if fault_specs:
         injector = FaultInjector(fabric, FaultPlan(fault_specs))
+    t_interval = resolve_interval(config.telemetry) or interval_from_env()
+    registry: Optional[TelemetryRegistry] = None
+    if t_interval > 0:
+        registry = TelemetryRegistry(interval=t_interval)
     system = System(
         fabric,
         profile,
@@ -176,6 +204,7 @@ def run_with_fabric(
             validate_interval=resolve_validate_interval(validate),
             watchdog_cycles=config.watchdog_cycles or None,
             fault_injector=injector,
+            telemetry=registry,
         ),
     )
     result = system.run()
@@ -184,6 +213,21 @@ def run_with_fabric(
     digest = hashlib.sha256()
     for net, _ratio, _role in fabric.networks:
         digest.update(net.stats.fingerprint().encode())
+    telemetry_record: Optional[Dict[str, object]] = None
+    if registry is not None:
+        from .. import __version__
+
+        telemetry_record = {
+            "schema": TELEMETRY_SCHEMA,
+            "kind": "experiment",
+            "version": __version__,
+            "scheme": scheme_name or fabric.config.name,
+            "benchmark": benchmark_name,
+            "config_digest": config_digest(config),
+            "scheduler": fabric.scheduler,
+            "stats_fingerprint": digest.hexdigest(),
+            **registry.export(),
+        }
     return ExperimentResult(
         scheme=scheme_name or fabric.config.name,
         benchmark=benchmark_name,
@@ -204,6 +248,7 @@ def run_with_fabric(
             net.stats.packets_recovered
             for net, _ratio, _role in fabric.networks
         ),
+        telemetry=telemetry_record,
     )
 
 

@@ -10,7 +10,7 @@ see EXPERIMENTS.md for the side-by-side record.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -20,7 +20,7 @@ from ..core.grid import Grid
 from ..core.hotzone import placement_penalty
 from ..core.nqueen import solve_all, solution_to_nodes
 from ..physical.ubump import UbumpBudget, equinox_budget, interposer_cmesh_budget
-from ..schemes import SCHEME_ORDER, get_config
+from ..schemes import SCHEME_ORDER
 from ..workloads import profiles, synthetic
 from . import cache
 from .experiment import ExperimentConfig, build_fabric, run_suite

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
 
@@ -49,6 +49,10 @@ class ExperimentResult:
     # Fault-injection ledger totals over all networks (0 without faults).
     flits_dropped: int = 0
     packets_recovered: int = 0
+    # Telemetry record (repro.telemetry export schema) when the run was
+    # sampled; None otherwise.  Plain JSON data: rides through the
+    # sweep journal and process-pool pickling unchanged.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def ipc(self) -> float:

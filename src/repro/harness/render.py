@@ -8,7 +8,7 @@ tile roles — ``C`` for a cache bank, letters for its EIR group members
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

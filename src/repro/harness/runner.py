@@ -42,12 +42,12 @@ import traceback
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..schemes import get_config
 from . import cache
-from .experiment import ExperimentConfig, run_experiment
+from .experiment import ExperimentConfig, config_digest, run_experiment
 from .metrics import (
     ExperimentResult,
     format_table,
@@ -132,6 +132,22 @@ class SweepReport:
             for o in self.outcomes
             if o.stall_dump is not None
         }
+
+    def telemetry_records(self) -> List[Dict[str, object]]:
+        """Per-cell telemetry records, in grid order (sampled runs only)."""
+        return [
+            o.result.telemetry
+            for o in self.outcomes
+            if o.ok and o.result.telemetry is not None
+        ]
+
+    def telemetry_summary(
+        self, config_digest: str = ""
+    ) -> Dict[str, object]:
+        """Sweep-level aggregation of the per-cell telemetry records."""
+        from ..telemetry import aggregate_sweep
+
+        return aggregate_sweep(self.telemetry_records(), config_digest)
 
     @property
     def cell_seconds(self) -> float:
@@ -310,15 +326,9 @@ def _run_cell(
         time.sleep(backoff_s * (2 ** (attempt - 1)))
 
 
-def _config_digest(config: ExperimentConfig) -> str:
-    """Short stable digest of a fully-resolved experiment config.
-
-    Keys journal records: a resumed sweep only reuses a cell's result
-    if the scheme, benchmark *and* every config knob (seed, quota,
-    fault plan, ...) match the journalled run exactly.
-    """
-    payload = json.dumps(asdict(config), sort_keys=True, default=str)
-    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+# Journal records are keyed by the shared experiment-config digest, so
+# a resumed sweep only reuses a cell if every knob matches exactly.
+_config_digest = config_digest
 
 
 JOURNAL_SCHEMA = 1

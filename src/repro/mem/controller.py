@@ -9,7 +9,6 @@ The PHY between the MC and the stack is folded into that constant.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import List, Optional
 
 from .hbm import HbmStack, HbmTiming, MemoryAccess
@@ -75,6 +74,10 @@ class MemoryController:
         if nxt is None:
             return None
         return max(math.ceil(nxt), cycle + 1)
+
+    def queue_depth(self) -> int:
+        """Accesses queued ahead of service (pipeline + stack queues)."""
+        return len(self._inbound) + self.stack.queue_depth()
 
     def pending(self) -> int:
         return len(self._inbound) + len(self._outbound) + self.stack.pending()

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..noc.types import CACHE_LINE_BYTES
 
@@ -155,6 +155,15 @@ class HbmStack:
         if nxt is None:
             return None
         return max(math.ceil(nxt), cycle + 1)
+
+    def queue_depth(self) -> int:
+        """Accesses waiting in the per-channel scheduler queues.
+
+        Excludes in-flight completions: this is the backlog the FR-FCFS
+        front-end still has to serve — the telemetry signal that shows a
+        reply burst building up behind a CB.
+        """
+        return sum(len(q) for q in self._queues)
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues) + len(self._completions)

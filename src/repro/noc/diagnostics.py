@@ -23,7 +23,7 @@ loop pays a single ``is None`` test per cycle.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .network import Network
 from .tracer import PacketTracer

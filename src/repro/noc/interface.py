@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from ..core.eir import EirDesign, shortest_path_eirs
 from .network import Network
@@ -32,7 +32,8 @@ class InjectionBuffer:
     """One packet-sized injection buffer wired to a router input port."""
 
     __slots__ = ("network", "target_node", "target_port", "link", "flits",
-                 "cur_vc", "interposer", "length", "failed", "draining")
+                 "cur_vc", "interposer", "length", "failed", "draining",
+                 "flits_sent")
 
     def __init__(
         self,
@@ -57,6 +58,9 @@ class InjectionBuffer:
         # packet boundary, after which the buffer quarantines itself.
         self.failed = False
         self.draining = False
+        # Lifetime flits this buffer pushed onto its link (telemetry:
+        # the per-EIR injection-balance numbers of Figures 4/7).
+        self.flits_sent = 0
 
     @property
     def free(self) -> bool:
@@ -116,6 +120,7 @@ class InjectionBuffer:
             self.cur_vc,
             flit,
         )
+        self.flits_sent += 1
         stats = self.network.stats
         stats.flits_injected += 1
         if self.interposer:
@@ -248,6 +253,14 @@ class NetworkInterface:
             1 for b in self.buffers if not b.free
         )
 
+    def buffer_occupancy(self) -> int:
+        """Flits currently sitting in this NI's injection buffers."""
+        return sum(len(b.flits) for b in self.buffers)
+
+    def register_telemetry(self, registry: "object", prefix: str) -> None:
+        """Register per-NI probes (base NIs are covered by the network's
+        aggregate series; EquiNox NIs add per-EIR breakdowns)."""
+
 
 class MultiPortInterface(NetworkInterface):
     """NI with ``k`` buffers, each on its own port of the local router."""
@@ -319,6 +332,32 @@ class EquiNoxInterface(NetworkInterface):
         # advanced modulo the transient free-list length biases EIR
         # choice whenever candidate sets differ per destination.
         self._rr: Dict[Tuple[int, ...], int] = {}
+
+    def register_telemetry(self, registry: "object", prefix: str) -> None:
+        """Per-EIR injected flits plus this CB's backlog, over time.
+
+        ``eir.cb<N>.local`` is buffer 0 (the CB's own router);
+        ``eir.cb<N>.eir<M>`` are the interposer-linked EIR buffers.
+        The final counters carry the end-of-run totals; the series
+        carry the cumulative counts over time (injection-balance
+        trajectories, Figures 4/7).
+        """
+        cb = self.node
+        labels = {0: f"eir.cb{cb}.local"}
+        for eir, index in self._eir_buffer.items():
+            labels[index] = f"eir.cb{cb}.eir{eir}"
+        for index, label in sorted(labels.items()):
+            buf = self.buffers[index]
+            registry.register_series(
+                f"{label}.flits_sent",
+                lambda buf=buf: buf.flits_sent,
+            )
+            registry.register_final(
+                f"{label}.flits_sent", lambda buf=buf: buf.flits_sent
+            )
+        registry.register_series(
+            f"eir.cb{cb}.backlog", lambda: len(self.source_queue)
+        )
 
     def _assign(self, cycle: int) -> None:
         # Head-of-line policy: the NI core processes one packet at a

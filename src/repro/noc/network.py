@@ -176,6 +176,59 @@ class Network:
             self._active_nis.add(ni._net_index)
 
     # ------------------------------------------------------------------
+    # Telemetry (read-only probes; see repro.telemetry)
+    # ------------------------------------------------------------------
+    def register_telemetry(self, registry: "object", prefix: str) -> None:
+        """Register this network's probes into a telemetry registry.
+
+        Everything registered here only *reads* simulator state, so a
+        telemetry-enabled run keeps ``stats_fingerprint`` bit-identical
+        to a telemetry-off run (pinned by the differential test).
+        """
+        stats = self.stats
+
+        if self._active_scheduler:
+            def active_nodes():
+                return self.active
+        else:
+            # Dense oracle: the equivalent ground truth is the set of
+            # routers currently holding flits.
+            def active_nodes():
+                return [r.node for r in self.routers if r.flit_count]
+
+        registry.register_series(f"{prefix}.in_flight", self.in_flight)
+        registry.register_series(
+            f"{prefix}.flits_injected", lambda: stats.flits_injected
+        )
+        registry.register_series(
+            f"{prefix}.flits_ejected", lambda: stats.flits_ejected
+        )
+        registry.register_series(
+            f"{prefix}.ni_backlog",
+            lambda: sum(ni.backlog() for ni in self.nis),
+        )
+        registry.register_series(
+            f"{prefix}.ni_buffer_flits",
+            lambda: sum(ni.buffer_occupancy() for ni in self.nis),
+        )
+        registry.register_series(
+            f"{prefix}.active_routers", lambda: len(active_nodes())
+        )
+        registry.register_residency(
+            f"{prefix}.router_active", self.grid.size, active_nodes
+        )
+        for name in NetworkStats.TELEMETRY_COUNTERS:
+            registry.register_final(
+                f"{prefix}.{name}", lambda name=name: getattr(stats, name)
+            )
+        registry.register_final(
+            f"{prefix}.peak_router_flits",
+            lambda: max((r.peak_flits for r in self.routers), default=0),
+        )
+        for ni in self.nis:
+            ni.register_telemetry(registry, prefix)
+
+    # ------------------------------------------------------------------
     # Event scheduling (used by routers and NIs)
     # ------------------------------------------------------------------
     def schedule_flit(

@@ -99,6 +99,7 @@ class Router:
         "monopoly_classes",
         "eject_filter",
         "failed_outputs",
+        "peak_flits",
     )
 
     def __init__(
@@ -144,6 +145,9 @@ class Router:
         self.input_ports: List[int] = list(range(routing.NUM_MESH_PORTS))
         self.rr_in: Dict[int, int] = {p: 0 for p in self.input_ports}
         self.flit_count = 0
+        # High-water mark of buffered flits (telemetry: per-router
+        # congestion without any per-cycle sampling cost).
+        self.peak_flits = 0
         # Flits buffered per input port: lets the tick loop skip empty
         # ports without scanning their VCs.
         self.port_flits: Dict[int, int] = {p: 0 for p in self.input_ports}
@@ -204,6 +208,8 @@ class Router:
         flit.buffered_at = cycle
         self.inputs[port][vc].queue.append(flit)
         self.flit_count += 1
+        if self.flit_count > self.peak_flits:
+            self.peak_flits = self.flit_count
         self.port_flits[port] += 1
 
     # ------------------------------------------------------------------

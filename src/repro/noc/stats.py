@@ -61,6 +61,19 @@ class LatencyAccumulator:
 class NetworkStats:
     """Event counters and latency records for one physical network."""
 
+    # Counters the telemetry registry exports as end-of-run finals
+    # (one ``net.<name>.<counter>`` entry per network per counter).
+    TELEMETRY_COUNTERS = (
+        "cycles",
+        "flits_injected",
+        "flits_ejected",
+        "packets_created",
+        "packets_delivered",
+        "bits_delivered",
+        "flits_dropped",
+        "packets_recovered",
+    )
+
     def __init__(self, num_nodes: int, flit_bytes: int) -> None:
         self.num_nodes = num_nodes
         self.flit_bytes = flit_bytes

@@ -15,11 +15,11 @@ Usage::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from .network import Network
-from .types import Flit, Packet
+from .types import Packet
 
 
 @dataclass(frozen=True)

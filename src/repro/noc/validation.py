@@ -30,10 +30,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from .network import Network
-from .router import OutputPort, Router
+from .router import Router
 from .types import Packet
 
 

@@ -9,7 +9,7 @@ cost (section 3.2.3): one layer suffices iff there are no crossings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from ..core.grid import Grid

@@ -15,7 +15,7 @@ EquiNox pay for extra CB-side ports and NI buffers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ..noc.network import Network
 from ..schemes.base import Fabric

@@ -14,8 +14,8 @@ EquiNox uses).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List
 
 from ..noc.network import Network
 from ..schemes.base import BASE_FREQUENCY_GHZ, Fabric

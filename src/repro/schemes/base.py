@@ -12,7 +12,7 @@ consumed by the GPU system model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.equinox import EquiNoxDesign
@@ -425,6 +425,25 @@ class Fabric:
         for net, ratio, _role in self.networks:
             out = max(out, int(net.last_progress / ratio))
         return out
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def register_telemetry(self, registry: "object") -> None:
+        """Register every network's probes plus per-CB reply backlogs.
+
+        Network prefixes are ``net.<name>`` (``net.request``,
+        ``net.reply``, ``net.reply-sub3``, ...); NIs register through
+        their network (EquiNox CB NIs contribute the per-EIR series).
+        All probes are read-only: telemetry cannot perturb a run.
+        """
+        for net, _ratio, _role in self.networks:
+            net.register_telemetry(registry, f"net.{net.name}")
+        for cb in self.placement:
+            registry.register_series(
+                f"cb{cb}.reply_backlog",
+                lambda cb=cb: self.reply_backlog(cb),
+            )
 
     # ------------------------------------------------------------------
     # Stats access

@@ -10,7 +10,7 @@ the profile's intensity.
 from __future__ import annotations
 
 import random
-from typing import Optional, Tuple
+from typing import Optional
 
 from .profiles import WorkloadProfile
 

@@ -13,8 +13,8 @@ These bypass the GPU/memory layers and drive a single network directly:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 from ..core.grid import Grid
 from ..noc.interface import NetworkInterface

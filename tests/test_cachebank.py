@@ -2,7 +2,6 @@
 
 from collections import deque
 
-import pytest
 
 from repro.gpu.cachebank import CacheBank
 from repro.gpu.transaction import Transaction

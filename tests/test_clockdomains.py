@@ -1,6 +1,5 @@
 """Tests for multi-clock-domain behaviour (DA2Mesh's 2.5x subnets)."""
 
-import pytest
 
 from repro.harness.experiment import ExperimentConfig, build_fabric
 from repro.noc.types import PacketType
@@ -51,8 +50,6 @@ class TestClockRatios:
     def test_latency_in_subnet_cycles_exceeds_base_equivalent(self):
         """Serialisation: a narrow reply takes more wall time than a
         wide one despite the 2.5x clock."""
-        import dataclasses
-
         da2 = build_fabric("DA2Mesh", CFG)
         sep = build_fabric("SeparateBase", CFG)
         results = {}

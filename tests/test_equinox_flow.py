@@ -7,7 +7,7 @@ from repro.core.eir import make_group, EirDesign
 from repro.core.equinox import EquiNoxDesign
 from repro.core.grid import Grid
 from repro.core.mcts import SearchConfig
-from repro.core.placement import PlacementResult, nqueen_best
+from repro.core.placement import nqueen_best
 
 
 @pytest.fixture(scope="module")

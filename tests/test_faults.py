@@ -19,7 +19,6 @@ import pytest
 
 from repro.core.eir import EirDesign, make_group
 from repro.core.grid import Grid
-from repro.gpu.system import SimulationStall
 from repro.harness import cache
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.noc import EquiNoxInterface, Network, Packet, PacketType

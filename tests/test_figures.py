@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.harness import cache
 from repro.harness.experiment import ExperimentConfig
 from repro.harness.figures import (
     figure4,

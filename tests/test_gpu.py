@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.core.grid import Grid
 from repro.gpu import ProcessingElement, System, SystemConfig, Transaction
-from repro.gpu.pe import DEFAULT_MSHRS
 from repro.harness.experiment import ExperimentConfig, build_fabric
 from repro.workloads import get
 from repro.workloads.profiles import WorkloadProfile

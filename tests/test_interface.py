@@ -1,6 +1,5 @@
 """Unit tests for network interfaces, including the EquiNox NI."""
 
-import pytest
 
 from repro.core.eir import EirDesign, make_group
 from repro.core.grid import Grid

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core import placement
-from repro.core.eir import EirGroup, make_group
+from repro.core.eir import make_group
 from repro.core.grid import Grid
 from repro.core.mcts import (
     EirSearch,

@@ -1,6 +1,5 @@
 """Tests for the consolidated report builder."""
 
-from pathlib import Path
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Router-level unit tests: arbitration, VC allocation, monopolisation."""
 
-import pytest
 
 from repro.core.grid import Grid
 from repro.noc import Network, NetworkInterface, Packet, PacketType

@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.core.grid import Grid
-from repro.harness import cache
 from repro.harness.experiment import ExperimentConfig, build_fabric
 from repro.noc import PacketType
 from repro.noc.interface import EquiNoxInterface, MultiPortInterface
-from repro.schemes import SCHEME_ORDER, Fabric, SchemeConfig, get_config
+from repro.schemes import SCHEME_ORDER, SchemeConfig, get_config
 
 
 class TestConfigs:

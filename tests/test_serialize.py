@@ -4,7 +4,6 @@ import json
 
 import pytest
 
-from repro.core.mcts import SearchConfig
 from repro.core.serialize import (
     FORMAT_VERSION,
     design_from_dict,

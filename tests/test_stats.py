@@ -1,6 +1,5 @@
 """Unit tests for network statistics."""
 
-import numpy as np
 import pytest
 
 from repro.noc.stats import LatencyAccumulator, NetworkStats

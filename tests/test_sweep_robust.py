@@ -10,7 +10,6 @@ from repro.harness.experiment import ExperimentConfig
 from repro.harness.runner import (
     CellTimeout,
     SweepJournal,
-    SweepCell,
     _config_digest,
     _run_cell,
     _wall_clock_limit,

@@ -1,6 +1,5 @@
 """Tests for the packet tracer."""
 
-import pytest
 
 from repro.core.grid import Grid
 from repro.noc import Network, NetworkInterface, Packet, PacketType

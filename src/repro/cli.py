@@ -11,6 +11,10 @@ Commands
     Figure-9-style table.
 ``figure``
     Regenerate one of the paper's light figures/tables.
+``verify``
+    Property-based verification: fuzz generated configurations against
+    the invariant/liveness/differential contract, or replay a shrunk
+    failure artifact.
 ``list``
     Show the available schemes and benchmarks.
 """
@@ -251,6 +255,25 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .verify import replay, run_profile
+
+    if args.replay:
+        if replay(args.replay):
+            print(f"FAIL: {args.replay} still reproduces")
+            return 1
+        print(f"ok: {args.replay} no longer reproduces")
+        return 0
+    report = run_profile(
+        args.profile,
+        artifact_dir=args.artifact_dir,
+        seed=args.seed,
+        log=lambda line: print(line, flush=True),
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("schemes:")
     for name in SCHEME_ORDER:
@@ -352,6 +375,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--results", default="results")
     p_report.add_argument("--output", default="results/REPORT.md")
     p_report.set_defaults(func=_cmd_report)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="property-based verification: fuzz configs, audit "
+             "invariants, replay shrunk failures",
+    )
+    p_verify.add_argument(
+        "--profile", choices=["fast", "deep"], default="fast",
+        help="fuzzing budget: 'fast' is the tier-1 profile, 'deep' the "
+             "dedicated CI job (default fast)",
+    )
+    p_verify.add_argument(
+        "--seed", type=int, default=0,
+        help="campaign seed: decorrelates generated workload seeds, "
+             "deterministic for a fixed value (default 0)",
+    )
+    p_verify.add_argument(
+        "--artifact-dir", default="results/verify", metavar="DIR",
+        help="where shrunk failure artifacts are written "
+             "(default results/verify)",
+    )
+    p_verify.add_argument(
+        "--replay", metavar="FILE",
+        help="re-run one failure artifact instead of fuzzing; exits 1 "
+             "if it still reproduces",
+    )
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_list = sub.add_parser("list", help="show schemes and benchmarks")
     p_list.set_defaults(func=_cmd_list)

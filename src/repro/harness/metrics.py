@@ -108,12 +108,29 @@ def mean(values: Sequence[float]) -> float:
 
 
 def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    A zero or negative input means an upstream metric is broken (an
+    IPC of 0 from a failed cell, a negative latency delta) — silently
+    folding it in would poison a whole normalized sweep table (a zero
+    would drag the mean to 0.0, a negative would raise a bare complex-
+    power error).  Report exactly which inputs are bad instead.
+    """
     if not values:
         return 0.0
+    bad = [
+        (index, v) for index, v in enumerate(values)
+        if not v > 0  # catches zero, negatives, and NaN
+    ]
+    if bad:
+        shown = ", ".join(f"[{i}]={v!r}" for i, v in bad[:5])
+        more = f" (+{len(bad) - 5} more)" if len(bad) > 5 else ""
+        raise ValueError(
+            f"geomean requires positive values; got {len(bad)} "
+            f"non-positive of {len(values)}: {shown}{more}"
+        )
     product = 1.0
     for v in values:
-        if v <= 0:
-            raise ValueError("geomean requires positive values")
         product *= v
     return product ** (1.0 / len(values))
 

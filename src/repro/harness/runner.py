@@ -252,12 +252,25 @@ def _wall_clock_limit(seconds: float) -> Iterator[None]:
         )
 
     previous = signal.signal(signal.SIGALRM, _alarm)
+    # An outer scope (nested limits, or a caller with its own alarm
+    # discipline) may already have an itimer armed; cancelling it on
+    # exit would silently disable that timeout.  Save it and re-arm
+    # whatever time it has left when we tear down.
+    outer_remaining, outer_interval = signal.getitimer(signal.ITIMER_REAL)
+    start = time.monotonic()
     signal.setitimer(signal.ITIMER_REAL, seconds)
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_remaining > 0.0:
+            elapsed = time.monotonic() - start
+            # If the outer deadline already passed while ours was
+            # armed, fire it (almost) immediately under the restored
+            # handler rather than dropping it.
+            remaining = max(outer_remaining - elapsed, 1e-6)
+            signal.setitimer(signal.ITIMER_REAL, remaining, outer_interval)
 
 
 def _run_cell(
@@ -353,6 +366,36 @@ class SweepJournal:
     def key(cell: SweepCell) -> Tuple[str, str, str]:
         return (cell.scheme, cell.benchmark, _config_digest(cell.config))
 
+    def write_header(self, cells: int) -> None:
+        """Make a fresh journal self-describing before any cell lands.
+
+        Written (and fsynced) once, only when the file is absent or
+        zero-byte — a sweep killed before this fsync leaves an empty
+        file, and both :meth:`load` and ``--resume`` treat that the
+        same as no journal at all: start fresh.  Existing journals
+        (including ones resumed across schema-1 versions without a
+        header) are left untouched.  :meth:`load` skips the header
+        record, so pre-header readers of the same format keep working.
+        """
+        try:
+            if os.path.getsize(self.path) > 0:
+                return
+        except OSError:
+            pass  # absent: create below
+        from .. import __version__
+
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "kind": "header",
+            "version": __version__,
+            "cells": cells,
+        }
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with open(self.path, "ab") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+
     def append(self, outcome: CellOutcome) -> None:
         record = {
             "schema": JOURNAL_SCHEMA,
@@ -406,6 +449,7 @@ class SweepJournal:
             if (
                 not isinstance(record, dict)
                 or record.get("schema") != JOURNAL_SCHEMA
+                or record.get("kind") == "header"
             ):
                 continue
             key = (
@@ -538,6 +582,8 @@ def run_sweep(
         retries = _env_int(RETRIES_ENV, 0)
     retries = max(0, retries)
     jnl = SweepJournal(journal) if journal is not None else None
+    if jnl is not None:
+        jnl.write_header(len(cells))
     start = time.perf_counter()
     total = len(cells)
     outcomes: List[Optional[CellOutcome]] = [None] * total

@@ -1,0 +1,230 @@
+"""Per-cycle invariant checking and bounded liveness for one case.
+
+:func:`check_invariants_case` is the core property the fuzzer drives:
+it runs a case's short simulation with the **full**
+:func:`~repro.noc.validation.audit_network` invariant set asserted
+every base cycle (flit/packet/credit conservation over every link, VC
+ownership, active-set ground truth), then applies the end-state
+contract:
+
+* **bounded liveness** — the run terminates well inside ``max_cycles``
+  (every PE's quota issued and every reply received) and no stall
+  window ever exceeds ``watchdog_cycles``; a violation raises with the
+  stall diagnosis attached;
+* **delivery accounting** — at the end every network is idle, every
+  injected flit is ejected or in the ``flits_dropped`` fault ledger,
+  and every created packet is delivered;
+* **fault inertness** — if the case's plan never actually fired, the
+  fault ledgers must be exactly zero.
+
+All checks raise :class:`VerifyFailure` (or let the simulator's own
+``NetworkAuditError`` / ``SimulationStall`` propagate); the harness
+turns whichever exception reaches it into a shrunk replay artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..gpu.system import System, SystemConfig, SystemResult
+from ..harness.experiment import build_fabric
+from ..noc.faults import FaultInjector, FaultPlan
+from ..noc.validation import audit_network
+from ..schemes.base import Fabric
+from ..telemetry import TelemetryRegistry
+from ..workloads import profiles
+from .space import VerifyCase
+
+#: Environment knobs that would otherwise leak into a verification run
+#: (the harness resolves empty config fields from these).  Hermetic
+#: runs are non-negotiable: a property failure must replay identically
+#: on a machine with none of them set.
+HERMETIC_ENV = (
+    "REPRO_FAULTS",
+    "REPRO_VALIDATE",
+    "REPRO_WATCHDOG_CYCLES",
+    "REPRO_TELEMETRY",
+    "REPRO_SCHEDULER",
+    "REPRO_CELL_TIMEOUT",
+    "REPRO_RETRIES",
+)
+
+
+@contextmanager
+def hermetic_env() -> Iterator[None]:
+    """Temporarily clear every REPRO_* knob that could perturb a run."""
+    saved = {}
+    for name in HERMETIC_ENV:
+        if name in os.environ:
+            saved[name] = os.environ.pop(name)
+    try:
+        yield
+    finally:
+        os.environ.update(saved)
+
+
+class VerifyFailure(AssertionError):
+    """A verification property failed for one concrete case."""
+
+    def __init__(self, case: VerifyCase, problems: List[str]) -> None:
+        self.case = case
+        self.problems = list(problems)
+        summary = "\n  ".join(self.problems)
+        super().__init__(
+            f"{len(self.problems)} verification failure(s) for "
+            f"[{case.label()}]:\n  {summary}"
+        )
+
+
+@dataclass
+class CaseRun:
+    """A completed case simulation plus everything the checks inspect."""
+
+    case: VerifyCase
+    fabric: Fabric
+    result: SystemResult
+    injector: Optional[FaultInjector]
+    stats_fingerprint: str
+    transactions_completed: int
+    transactions_total: int
+
+    @property
+    def fired(self) -> bool:
+        return self.injector is not None and self.injector.applied > 0
+
+
+def fingerprint(fabric: Fabric) -> str:
+    """sha256 over every network's counter snapshot (harness contract)."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for net, _ratio, _role in fabric.networks:
+        digest.update(net.stats.fingerprint().encode())
+    return digest.hexdigest()
+
+
+def run_case(
+    case: VerifyCase, validate_every: int = 1
+) -> CaseRun:
+    """Run one case with audits every ``validate_every`` base cycles.
+
+    Unlike the sweep harness this passes the audit interval to the
+    validator *raw* (1 really means every cycle), runs hermetically
+    with respect to ``REPRO_*`` env knobs, and keeps the live fabric
+    for post-run inspection.  ``NetworkAuditError`` and
+    ``SimulationStall`` propagate to the caller.
+    """
+    with hermetic_env():
+        config = case.experiment_config()
+        fabric = build_fabric(case.scheme, config)
+        injector: Optional[FaultInjector] = None
+        if case.faults:
+            injector = FaultInjector(fabric, FaultPlan(case.faults))
+        registry: Optional[TelemetryRegistry] = None
+        if case.telemetry > 0:
+            registry = TelemetryRegistry(interval=case.telemetry)
+        system = System(
+            fabric,
+            profiles.get(case.benchmark),
+            SystemConfig(
+                quota=case.quota,
+                seed=case.seed,
+                max_cycles=case.max_cycles,
+                validate_interval=validate_every,
+                watchdog_cycles=case.watchdog_cycles,
+                fault_injector=injector,
+                telemetry=registry,
+            ),
+        )
+        result = system.run()
+    completed = sum(
+        1 for t in result.transactions if t.completed is not None
+    )
+    return CaseRun(
+        case=case,
+        fabric=fabric,
+        result=result,
+        injector=injector,
+        stats_fingerprint=fingerprint(fabric),
+        transactions_completed=completed,
+        transactions_total=len(result.transactions),
+    )
+
+
+# ----------------------------------------------------------------------
+# End-state contract
+# ----------------------------------------------------------------------
+def end_state_problems(run: CaseRun) -> List[str]:
+    """Violations of the liveness/accounting contract after a run."""
+    problems: List[str] = []
+    case = run.case
+    if run.result.cycles >= case.max_cycles:
+        pending = run.transactions_total - run.transactions_completed
+        problems.append(
+            f"liveness: run hit the {case.max_cycles}-cycle bound with "
+            f"{pending} of {run.transactions_total} transactions "
+            f"outstanding"
+        )
+    if run.transactions_completed != run.transactions_total:
+        problems.append(
+            f"liveness: {run.transactions_total - run.transactions_completed}"
+            f" transaction(s) never completed"
+        )
+    for net, _ratio, _role in run.fabric.networks:
+        if not net.idle():
+            problems.append(
+                f"net.{net.name}: not idle after termination "
+                f"({net.in_flight()} flits still in flight)"
+            )
+        report = audit_network(net)
+        if not report.ok:
+            problems.extend(
+                f"net.{net.name}: {p}" for p in report.problems
+            )
+        stats = net.stats
+        if stats.flits_injected != stats.flits_ejected + stats.flits_dropped:
+            problems.append(
+                f"net.{net.name}: flit accounting — injected "
+                f"{stats.flits_injected} != ejected {stats.flits_ejected} "
+                f"+ dropped {stats.flits_dropped}"
+            )
+        if stats.packets_created != stats.packets_delivered:
+            problems.append(
+                f"net.{net.name}: packet accounting — created "
+                f"{stats.packets_created} != delivered "
+                f"{stats.packets_delivered}"
+            )
+        if not run.fired and (stats.flits_dropped or stats.packets_recovered):
+            problems.append(
+                f"net.{net.name}: fault ledger nonzero without a fired "
+                f"fault (dropped {stats.flits_dropped}, recovered "
+                f"{stats.packets_recovered})"
+            )
+    return problems
+
+
+def check_invariants_case(
+    case: VerifyCase, validate_every: int = 1
+) -> CaseRun:
+    """The fuzzer's core property: per-cycle audits + end-state contract.
+
+    Raises on any violation; returns the completed :class:`CaseRun`
+    otherwise (differential checks reuse it).
+    """
+    run = run_case(case, validate_every=validate_every)
+    problems = end_state_problems(run)
+    if problems:
+        raise VerifyFailure(case, problems)
+    return run
+
+
+def deliveries_bounded(run: CaseRun) -> Tuple[int, int]:
+    """(worst round-trip cycles, completed transactions) for reporting."""
+    worst = 0
+    for t in run.result.transactions:
+        if t.completed is not None:
+            worst = max(worst, t.round_trip)
+    return worst, run.transactions_completed

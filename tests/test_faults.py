@@ -288,6 +288,28 @@ class TestEndToEnd:
         assert armed.cycles == base.cycles
         assert armed.flits_dropped == 0
 
+    def test_heal_immediately_plan_is_bit_identical(self):
+        """Specs that fire at cycle 0 and heal before any traffic moves
+        must leave the run bit-identical to having no plan at all."""
+        base = run_experiment("EquiNox", "hotspot", QUICK)
+        healed = run_experiment(
+            "EquiNox", "hotspot",
+            ExperimentConfig(
+                quota=QUICK.quota, mcts_iterations=QUICK.mcts_iterations,
+                validate=QUICK.validate,
+                faults=(
+                    FaultSpec(kind="mesh_link", node=0, peer=1,
+                              at_cycle=0, heal_cycle=1, net="any"),
+                    FaultSpec(kind="eir_link", at_cycle=0, heal_cycle=1),
+                    FaultSpec(kind="router_port", node=0, port=0,
+                              at_cycle=0, heal_cycle=1, net="any"),
+                ),
+            ),
+        )
+        assert healed.stats_fingerprint == base.stats_fingerprint
+        assert healed.cycles == base.cycles
+        assert healed.flits_dropped == 0
+
     def test_eir_link_degradation_monotonic_never_zero(self):
         """Losing 1..4 EIR links per CB degrades but never kills EquiNox."""
         design = cache.equinox_design(

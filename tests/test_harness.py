@@ -43,6 +43,20 @@ class TestMetrics:
         with pytest.raises(ValueError):
             geomean([1.0, 0.0])
 
+    def test_geomean_reports_offending_values(self):
+        # Regression: the error must name which inputs are broken so a
+        # poisoned normalized sweep table is diagnosable at a glance.
+        with pytest.raises(ValueError, match=r"2 non-positive of 3"):
+            geomean([1.0, 0.0, -2.5])
+        with pytest.raises(ValueError, match=r"\[1\]=0.0"):
+            geomean([1.0, 0.0, -2.5])
+        with pytest.raises(ValueError, match=r"\[2\]=-2.5"):
+            geomean([1.0, 0.0, -2.5])
+
+    def test_geomean_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([1.0, float("nan")])
+
     def test_reduction_percent(self):
         assert reduction_percent(100.0, 76.5) == pytest.approx(23.5)
         assert reduction_percent(0.0, 10.0) == 0.0

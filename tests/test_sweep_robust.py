@@ -1,6 +1,7 @@
 """Sweep robustness: timeouts, retries, journalling, crash-safe resume."""
 
 import json
+import signal
 import time
 
 import pytest
@@ -42,6 +43,57 @@ class TestWallClockLimit:
         with _wall_clock_limit(0.2):
             pass
         time.sleep(0.25)  # the alarm must not fire after the block
+
+    def test_outer_itimer_survives_inner_limit(self):
+        # Regression: teardown used to cancel a previously armed itimer
+        # along with its own, silently disabling any outer timeout.
+        fired = []
+        previous = signal.signal(
+            signal.SIGALRM, lambda s, f: fired.append(True)
+        )
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.5)
+            with _wall_clock_limit(0.05):
+                pass
+            remaining, _interval = signal.getitimer(signal.ITIMER_REAL)
+            assert remaining > 0  # outer timer re-armed, not cancelled
+            deadline = time.monotonic() + 3
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fired  # ... and it still goes off
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_expired_outer_itimer_fires_on_exit(self):
+        # An outer deadline that passes while the inner limit is armed
+        # must fire right after teardown instead of being dropped.
+        fired = []
+        previous = signal.signal(
+            signal.SIGALRM, lambda s, f: fired.append(True)
+        )
+        try:
+            signal.setitimer(signal.ITIMER_REAL, 0.05)
+            with _wall_clock_limit(5.0):
+                deadline = time.monotonic() + 0.15
+                while time.monotonic() < deadline:
+                    pass
+            deadline = time.monotonic() + 3
+            while not fired and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    def test_nested_limits_outer_still_fires(self):
+        with pytest.raises(CellTimeout):
+            with _wall_clock_limit(0.2):
+                with _wall_clock_limit(0.05):
+                    pass  # inner finishes without tripping
+                deadline = time.monotonic() + 3
+                while time.monotonic() < deadline:
+                    pass
 
 
 class TestRetries:
@@ -150,8 +202,12 @@ class TestJournal:
         journal = tmp_path / "sweep.journal"
         full = sweep(**GRID, config=CFG, journal=journal)
         lines = journal.read_text().splitlines()
-        # Simulate a kill: first record intact, second torn mid-write.
-        journal.write_text(lines[0] + "\n" + lines[1][: len(lines[1]) // 2])
+        # Simulate a kill: header + first record intact, second torn
+        # mid-write.
+        journal.write_text(
+            lines[0] + "\n" + lines[1] + "\n"
+            + lines[2][: len(lines[2]) // 2]
+        )
         resumed = sweep(**GRID, config=CFG, journal=journal, resume=True)
         from_journal = [o.from_journal for o in resumed.outcomes]
         assert from_journal == [True, False]
@@ -179,6 +235,48 @@ class TestJournal:
         monkeypatch.undo()
         resumed = run_sweep(_cells(), journal=journal, resume=True)
         assert all(o.ok and not o.from_journal for o in resumed.outcomes)
+
+    def test_header_written_once_and_skipped_by_load(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        sweep(**GRID, config=CFG, journal=journal)
+        lines = journal.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == runner.JOURNAL_SCHEMA
+        assert header["cells"] == 2
+        # The header is metadata only: load() returns just the cells.
+        assert len(SweepJournal(journal).load()) == 2
+        # Resuming never writes a second header.
+        sweep(**GRID, config=CFG, journal=journal, resume=True)
+        kinds = [
+            json.loads(line).get("kind")
+            for line in journal.read_text().splitlines()
+        ]
+        assert kinds.count("header") == 1
+
+    def test_empty_journal_resumes_fresh(self, tmp_path):
+        # Regression: a sweep killed before the header fsync leaves a
+        # zero-byte journal; --resume must start fresh, not error out.
+        journal = tmp_path / "sweep.journal"
+        journal.write_bytes(b"")
+        report = sweep(**GRID, config=CFG, journal=journal, resume=True)
+        assert all(o.ok and not o.from_journal for o in report.outcomes)
+        # The fresh run journalled normally on top of the empty file.
+        assert len(SweepJournal(journal).load()) == 2
+
+    def test_header_only_journal_resumes_fresh(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        SweepJournal(journal).write_header(cells=2)
+        report = sweep(**GRID, config=CFG, journal=journal, resume=True)
+        assert all(o.ok and not o.from_journal for o in report.outcomes)
+
+    def test_torn_header_resumes_fresh(self, tmp_path):
+        journal = tmp_path / "sweep.journal"
+        SweepJournal(journal).write_header(cells=2)
+        text = journal.read_text()
+        journal.write_text(text[: len(text) // 2])  # torn mid-write
+        report = sweep(**GRID, config=CFG, journal=journal, resume=True)
+        assert all(o.ok and not o.from_journal for o in report.outcomes)
 
     def test_garbage_lines_skipped(self, tmp_path):
         journal = tmp_path / "sweep.journal"

@@ -259,7 +259,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     from .verify import replay, run_profile
 
     if args.replay:
-        if replay(args.replay):
+        try:
+            reproduced = replay(args.replay)
+        except (ValueError, OSError) as exc:
+            # Invalid/truncated/unreadable artifacts are a usage error
+            # (exit 2), distinct from "bug still reproduces" (exit 1).
+            print(f"error: cannot replay {args.replay}: {exc}")
+            return 2
+        if reproduced:
             print(f"FAIL: {args.replay} still reproduces")
             return 1
         print(f"ok: {args.replay} no longer reproduces")

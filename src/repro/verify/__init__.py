@@ -32,6 +32,7 @@ from .differential import (
 )
 from .harness import (
     DEEP,
+    FAILURE_EXCEPTIONS,
     FAST,
     PROFILES,
     PropertyOutcome,
@@ -67,6 +68,7 @@ __all__ = [
     "DEEP_WIDTHS",
     "DEFAULT_MAX_CYCLES",
     "DEFAULT_WATCHDOG",
+    "FAILURE_EXCEPTIONS",
     "FAST",
     "FAST_WIDTHS",
     "HERMETIC_ENV",

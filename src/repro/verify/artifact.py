@@ -114,8 +114,14 @@ def replay(path: Union[str, Path]) -> bool:
     Returns ``True`` when the failure still reproduces (the property
     raises), ``False`` when the case now passes — i.e. the bug is
     fixed.  Unknown/invalid artifacts raise ``ValueError``.
+
+    "Still reproduces" means any of the harness's failure exceptions —
+    explicit check violations *and* the simulator's per-cycle audit and
+    stall-watchdog errors — exactly the ``FAILURE_EXCEPTIONS`` set the
+    campaign records.
     """
     from .differential import check_differential_case
+    from .harness import FAILURE_EXCEPTIONS
     from .invariants import check_invariants_case
 
     record = load_artifact(path)
@@ -126,7 +132,7 @@ def replay(path: Union[str, Path]) -> bool:
             check_invariants_case(case)
         else:
             check_differential_case(case)
-    except AssertionError:
+    except FAILURE_EXCEPTIONS:
         return True
     return False
 

@@ -29,10 +29,20 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 from hypothesis import HealthCheck, Phase, given, settings
 
 from . import artifact as artifact_mod
+from ..gpu.system import SimulationStall
+from ..noc.validation import NetworkAuditError
 from .differential import check_differential_case
 from .invariants import check_invariants_case
 from .space import VerifyCase
 from .strategies import DEEP_WIDTHS, FAST_WIDTHS, cases
+
+#: Exception types that count as a *property failure* (and therefore
+#: shrink to a replay artifact) rather than a harness crash: explicit
+#: check violations plus the simulator's own per-cycle audit and
+#: stall-watchdog errors, which subclass RuntimeError — not
+#: AssertionError — and are documented to propagate out of
+#: :func:`~repro.verify.invariants.run_case`.
+FAILURE_EXCEPTIONS = (AssertionError, NetworkAuditError, SimulationStall)
 
 
 @dataclass(frozen=True)
@@ -77,6 +87,10 @@ _SETTINGS_KWARGS = dict(
         HealthCheck.large_base_example,
     ],
     phases=(Phase.generate, Phase.shrink),
+    # One minimal counterexample per property: without this hypothesis
+    # may raise an ExceptionGroup bundling several distinct bugs, and
+    # "the last recorded failure is the minimal one" no longer holds.
+    report_multiple_bugs=False,
 )
 
 
@@ -154,19 +168,29 @@ def _drive(
     @settings(max_examples=max_examples, **_SETTINGS_KWARGS)
     @given(case=strategy)
     def property_test(case: VerifyCase) -> None:
-        outcome.examples += 1
-        if outcome.examples % 50 == 0:
-            log(f"  ... {prop}: {outcome.examples} cases")
+        if not failures:
+            # Count generated examples only: once a failure is recorded
+            # every further execution is a shrink-phase re-run and must
+            # not inflate the report's case count.
+            outcome.examples += 1
+            if outcome.examples % 50 == 0:
+                log(f"  ... {prop}: {outcome.examples} cases")
         try:
             check(case)
-        except AssertionError as exc:
+        except FAILURE_EXCEPTIONS as exc:
             failures.append((case, f"{type(exc).__name__}: {exc}"))
             raise
 
     try:
         property_test()
-    except AssertionError:
-        # Hypothesis re-raises the minimal example's failure last.
+    except Exception:
+        # Hypothesis re-raises the minimal example's failure last.  Any
+        # recorded failure (AssertionError, NetworkAuditError,
+        # SimulationStall — however hypothesis wraps it) becomes the
+        # outcome; an exception with nothing recorded is a harness
+        # crash, not a property failure, and must propagate.
+        if not failures:
+            raise
         case, error = failures[-1]
         outcome.failure = case
         outcome.error = error

@@ -136,13 +136,24 @@ class VerifyCase:
         if not isinstance(raw_faults, (list, tuple)):
             raise ValueError("verify case 'faults' must be a list")
         faults = tuple(FaultSpec.from_dict(item) for item in raw_faults)
-        unknown = set(payload) - {
+        required = {
             "scheme", "benchmark", "width", "num_cbs", "quota", "seed",
+        }
+        optional = {
             "scheduler", "telemetry", "max_cycles", "watchdog_cycles",
             "mcts_iterations",
         }
+        unknown = set(payload) - required - optional
         if unknown:
             raise ValueError(f"unknown verify case fields {sorted(unknown)}")
+        missing = required - set(payload)
+        if missing:
+            # A truncated or hand-edited artifact must fail the same
+            # ValueError way as every other validation, not leak a
+            # TypeError from the dataclass constructor.
+            raise ValueError(
+                f"verify case missing required fields {sorted(missing)}"
+            )
         return VerifyCase(faults=faults, **payload)
 
     def digest(self) -> str:

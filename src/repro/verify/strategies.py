@@ -59,6 +59,11 @@ def _mesh(draw, widths: Sequence[int], scheme: str) -> Tuple[int, int]:
     pool = [w for w in widths if w % 2 == 0] if (
         scheme == "Interposer-CMesh"
     ) else list(widths)
+    if not pool:
+        raise ValueError(
+            f"width pool {tuple(widths)} has no even entry, so no valid "
+            f"{scheme} mesh can be generated (even width required)"
+        )
     width = draw(st.sampled_from(pool))
     num_cbs = draw(st.integers(2, width))
     return width, num_cbs
@@ -148,20 +153,13 @@ def fault_plans(
 
 
 @st.composite
-def cases(
+def _cases(
     draw,
-    widths: Sequence[int] = FAST_WIDTHS,
-    base_seed: int = 0,
-    with_faults: bool = True,
-    max_cycles: int = 0,
+    widths: Sequence[int],
+    base_seed: int,
+    with_faults: bool,
+    max_cycles: int,
 ) -> VerifyCase:
-    """A complete valid :class:`VerifyCase`.
-
-    ``base_seed`` decorrelates whole fuzzing campaigns (CLI ``--seed``)
-    while staying deterministic for a fixed value; ``with_faults``
-    gates fault-plan generation (differential checks supply their own
-    plans); ``max_cycles`` of 0 keeps the space default.
-    """
     scheme = draw(schemes())
     width, num_cbs = draw(_mesh(widths, scheme))
     kwargs = {}
@@ -183,3 +181,37 @@ def cases(
             faults=draw(fault_plans(width, case.max_cycles))
         )
     return case
+
+
+def cases(
+    widths: Sequence[int] = FAST_WIDTHS,
+    base_seed: int = 0,
+    with_faults: bool = True,
+    max_cycles: int = 0,
+) -> st.SearchStrategy[VerifyCase]:
+    """A complete valid :class:`VerifyCase`.
+
+    ``base_seed`` decorrelates whole fuzzing campaigns (CLI ``--seed``)
+    while staying deterministic for a fixed value; ``with_faults``
+    gates fault-plan generation (differential checks supply their own
+    plans); ``max_cycles`` of 0 keeps the space default.
+
+    The width pool is validated *here*, at strategy construction, so a
+    custom pool with no even entry (Interposer-CMesh needs one) fails
+    with a clear ValueError before any campaign starts — not with an
+    opaque ``sampled_from([])`` error mid-run.
+    """
+    widths = tuple(widths)
+    if not widths:
+        raise ValueError("verify width pool must not be empty")
+    if not any(w % 2 == 0 for w in widths):
+        raise ValueError(
+            f"width pool {widths} has no even entry; Interposer-CMesh "
+            f"needs an even mesh width — add one or drop the scheme"
+        )
+    return _cases(
+        widths=widths,
+        base_seed=base_seed,
+        with_faults=with_faults,
+        max_cycles=max_cycles,
+    )

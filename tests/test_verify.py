@@ -12,8 +12,10 @@ import json
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from repro.gpu.system import SimulationStall
 from repro.harness.experiment import config_digest
 from repro.noc.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.noc.validation import NetworkAuditError
 from repro.verify import (
     PROPERTY_DIFFERENTIAL,
     PROPERTY_INVARIANTS,
@@ -87,6 +89,16 @@ class TestVerifyCase:
         with pytest.raises(ValueError):
             VerifyCase.from_dict({**QUICK, "bogus_knob": 1})
 
+    def test_from_dict_names_missing_fields(self):
+        # A truncated/hand-edited artifact must fail with the same
+        # ValueError story as every other validation — not a raw
+        # TypeError from the dataclass constructor.
+        partial = {k: v for k, v in QUICK.items() if k != "quota"}
+        with pytest.raises(ValueError, match=r"missing.*quota"):
+            VerifyCase.from_dict(partial)
+        with pytest.raises(ValueError, match="missing"):
+            VerifyCase.from_dict({})
+
     def test_experiment_config_bridge(self):
         case = VerifyCase(**QUICK)
         cfg = case.experiment_config()
@@ -143,6 +155,15 @@ class TestStrategies:
         first, second = collect(), collect()
         assert first == second
         assert len(set(first)) > 1  # actually exploring the space
+
+    def test_widths_without_even_entry_rejected_up_front(self):
+        # Interposer-CMesh needs an even width; a custom odd-only pool
+        # must fail at strategy construction with a clear message, not
+        # with sampled_from([]) mid-campaign.
+        with pytest.raises(ValueError, match="even"):
+            cases(widths=(5, 7))
+        with pytest.raises(ValueError, match="empty"):
+            cases(widths=())
 
 
 class TestDrivers:
@@ -240,6 +261,23 @@ class TestArtifacts:
         )
         assert replay(ok_path) is False
 
+    def test_replay_counts_runtime_failures_as_reproduced(
+        self, tmp_path, monkeypatch
+    ):
+        # A bug that manifests as NetworkAuditError or SimulationStall
+        # (RuntimeError subclasses) must count as "still reproduces",
+        # not crash the one-command repro with a raw traceback.
+        case = VerifyCase(**QUICK)
+        path = write_failure(tmp_path, PROPERTY_INVARIANTS, case, "audit")
+        for exc in (NetworkAuditError([]), SimulationStall("stuck")):
+            def raising(_case, exc=exc):
+                raise exc
+
+            monkeypatch.setattr(
+                "repro.verify.invariants.check_invariants_case", raising
+            )
+            assert replay(path) is True
+
 
 class TestHarnessDriver:
     def test_drive_shrinks_to_minimal_failure(self):
@@ -261,6 +299,61 @@ class TestHarnessDriver:
         assert artifact_bytes(
             "invariants", again.failure, again.error
         ) == artifact_bytes("invariants", outcome.failure, outcome.error)
+
+    def test_drive_records_simulator_runtime_failures(self):
+        # NetworkAuditError and SimulationStall subclass RuntimeError,
+        # not AssertionError; the driver must still record and shrink
+        # them into a replayable failure instead of crashing the
+        # campaign with a raw traceback.
+        def audit_check(case):
+            if case.quota >= 4:
+                raise NetworkAuditError([])  # "audit failed"
+
+        outcome = _drive(
+            "invariants", audit_check, cases(widths=(4,)), 30,
+            lambda _m: None,
+        )
+        assert outcome.failure is not None
+        assert outcome.failure.quota == 4  # shrunk to the boundary
+        assert "NetworkAuditError" in outcome.error
+
+        def stall_check(case):
+            if case.quota >= 4:
+                raise SimulationStall("watchdog: no progress")
+
+        outcome = _drive(
+            "invariants", stall_check, cases(widths=(4,)), 30,
+            lambda _m: None,
+        )
+        assert outcome.failure is not None
+        assert "SimulationStall" in outcome.error
+
+    def test_drive_propagates_harness_crashes(self):
+        # An exception outside the failure set is a harness bug, not a
+        # property failure — it must propagate, not vanish.
+        def broken_check(case):
+            raise TypeError("harness bug")
+
+        with pytest.raises(Exception) as excinfo:
+            _drive(
+                "invariants", broken_check, cases(widths=(4,)), 5,
+                lambda _m: None,
+            )
+        assert "harness bug" in str(excinfo.value) or "TypeError" in str(
+            excinfo.value
+        )
+
+    def test_examples_count_excludes_shrink_reruns(self):
+        # Shrinking re-executes the property many times; the reported
+        # case count must only cover generated examples.
+        def check(case):
+            assert case.quota < 4
+
+        outcome = _drive(
+            "invariants", check, cases(widths=(4,)), 30, lambda _m: None
+        )
+        assert outcome.failure is not None
+        assert 1 <= outcome.examples <= 30
 
     def test_unknown_profile_rejected(self):
         with pytest.raises(ValueError, match="unknown verify profile"):
@@ -294,6 +387,28 @@ class TestCli:
         out = capsys.readouterr().out
         assert "no longer reproduces" in out
         assert "still reproduces" in out
+
+    def test_verify_replay_invalid_artifact_is_usage_error(
+        self, tmp_path, capsys
+    ):
+        # Truncated/corrupt artifacts exit 2 with the validation
+        # message, not a raw traceback (and not exit 1, which means
+        # "bug still reproduces").
+        from repro.cli import main
+
+        truncated = json.loads(
+            write_failure(
+                tmp_path, PROPERTY_INVARIANTS, VerifyCase(**QUICK), "x"
+            ).read_text()
+        )
+        del truncated["case"]["quota"]
+        del truncated["case_digest"]
+        bad = tmp_path / "truncated.json"
+        bad.write_text(json.dumps(truncated))
+        assert main(["verify", "--replay", str(bad)]) == 2
+        out = capsys.readouterr().out
+        assert "missing required fields" in out
+        assert main(["verify", "--replay", str(tmp_path / "nope.json")]) == 2
 
     def test_mini_profile_summary(self, tmp_path, capsys, monkeypatch):
         # Exercise the campaign path end-to-end with a tiny budget.

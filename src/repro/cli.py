@@ -70,6 +70,13 @@ def _add_validation(parser: argparse.ArgumentParser) -> None:
              "or active — both are bit-identical",
     )
     parser.add_argument(
+        "--engine", choices=["object", "vector"], default="",
+        help="tick engine: 'object' is the per-object golden "
+             "reference, 'vector' the struct-of-arrays batched engine; "
+             "default = REPRO_ENGINE env or object — both produce "
+             "bit-identical stats fingerprints",
+    )
+    parser.add_argument(
         "--telemetry", nargs="?", const=1, default=0, type=int,
         metavar="N",
         help="sample read-only telemetry probes every N cycles (bare "
@@ -118,6 +125,7 @@ def _experiment_config(args: argparse.Namespace) -> ExperimentConfig:
         watchdog_cycles=getattr(args, "watchdog_cycles", 0),
         faults=faults,
         scheduler=getattr(args, "scheduler", ""),
+        engine=getattr(args, "engine", ""),
         telemetry=getattr(args, "telemetry", 0),
     )
 
@@ -207,6 +215,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         scenarios=args.scenarios or None,
         repeat=args.repeat,
         scheduler=args.scheduler,
+        engine=args.engine,
     )
     baseline = None
     if args.baseline:
@@ -352,6 +361,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default="active",
                          help="tick discipline to benchmark "
                               "(default active)")
+    p_bench.add_argument("--engine", choices=["object", "vector"],
+                         default=None,
+                         help="force one tick engine for every scenario "
+                              "(default: each scenario's own — the "
+                              "*_vector twins run vectorised)")
     p_bench.add_argument("--scenarios", nargs="*", metavar="NAME",
                          help="subset of scenarios to run "
                               "(default: all)")

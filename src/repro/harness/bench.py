@@ -1,11 +1,15 @@
 """Performance scenarios and the ``BENCH.json`` regression gate.
 
-Three scenarios bracket the simulator's tick hot path:
+Scenarios bracket the simulator's tick hot path:
 
-* ``synthetic`` — uniform random traffic on a bare 8x8 network at a
-  moderate rate, dominated by ``Network.tick`` / ``Router.tick``;
+* ``synthetic`` — uniform random traffic on a saturated 24x24 network,
+  dominated by the allocation/traversal loop.  This is the scenario the
+  vector engine is gated on: ``synthetic_vector`` runs the identical
+  configuration under ``--engine vector`` and must reproduce the object
+  engine's checksum bit-for-bit while clearing a minimum speedup;
 * ``low_load`` — uniform traffic on a 16x16 network at a 0.2% injection
-  rate, the mostly-idle regime the active-set scheduler exists for;
+  rate, the mostly-idle regime the active-set scheduler exists for
+  (also paired with ``low_load_vector``);
 * ``system`` — one full (scheme, benchmark) cell through the GPU model,
   the shape every harness sweep repeats hundreds of times.
 
@@ -13,9 +17,12 @@ Each scenario reports wall-clock throughput (cycles/s, best of
 ``repeat`` runs) *and* a behaviour checksum over the simulated
 statistics.  ``compare_bench`` turns a current/baseline pair into a
 list of violations: a checksum change is always fatal (simulated
-behaviour drifted), a throughput drop is fatal past the tolerance.
-``repro bench`` wires this into CI as the bench-gate job against the
-committed ``BENCH_BASELINE.json``.
+behaviour drifted), a throughput drop is fatal past the tolerance, an
+object<->vector checksum divergence between paired scenarios is fatal
+(the engine-parity contract broke), and a vector speedup below
+``MIN_ENGINE_SPEEDUP`` on ``synthetic`` is fatal (the vector engine
+stopped paying for itself).  ``repro bench`` wires this into CI as the
+bench-gate job against the committed ``BENCH_BASELINE.json``.
 """
 
 from __future__ import annotations
@@ -30,8 +37,20 @@ from .. import __version__
 from ..core.grid import Grid
 from ..workloads.synthetic import run_uniform
 
-BENCH_SCHEMA = 1
+BENCH_SCHEMA = 2
 DEFAULT_TOLERANCE = 0.25
+
+# The vector engine must beat the object engine by at least this factor
+# on the saturated ``synthetic`` scenario (wall-clock cycles/s measured
+# on the same machine in the same run, so no calibration applies).
+MIN_ENGINE_SPEEDUP = 3.0
+
+# (vector scenario, object scenario) pairs whose behaviour checksums
+# must agree: both engines simulate the identical configuration.
+ENGINE_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("synthetic_vector", "synthetic"),
+    ("low_load_vector", "low_load"),
+)
 
 _CALIBRATION_LOOPS = 2_000_000
 
@@ -74,13 +93,20 @@ def _network_checksum(result) -> str:
     ).hexdigest()[:10]
 
 
-def _scenario_synthetic(repeat: int, scheduler: str) -> Dict[str, object]:
-    """Uniform random traffic: the bare network tick loop."""
+def _uniform_row(
+    repeat: int,
+    scheduler: str,
+    engine: str,
+    width: int,
+    rate: float,
+    cycles: int,
+) -> Dict[str, object]:
     best, result = _time_best(repeat, lambda: run_uniform(
-        Grid(8), injection_rate=0.08, cycles=4000, seed=1,
-        scheduler=scheduler,
+        Grid(width), injection_rate=rate, cycles=cycles, seed=1,
+        scheduler=scheduler, engine=engine,
     ))
     return {
+        "engine": engine,
         "cycles": result.cycles,
         "seconds": best,
         "cycles_per_s": result.cycles / best,
@@ -89,31 +115,49 @@ def _scenario_synthetic(repeat: int, scheduler: str) -> Dict[str, object]:
     }
 
 
-def _scenario_low_load(repeat: int, scheduler: str) -> Dict[str, object]:
+def _scenario_synthetic(
+    repeat: int, scheduler: str, engine: str = "object"
+) -> Dict[str, object]:
+    """Saturated uniform traffic: the allocation/traversal hot loop."""
+    return _uniform_row(repeat, scheduler, engine,
+                        width=24, rate=0.08, cycles=500)
+
+
+def _scenario_synthetic_vector(
+    repeat: int, scheduler: str, engine: str = "vector"
+) -> Dict[str, object]:
+    """``synthetic`` under the struct-of-arrays engine."""
+    return _scenario_synthetic(repeat, scheduler, engine)
+
+
+def _scenario_low_load(
+    repeat: int, scheduler: str, engine: str = "object"
+) -> Dict[str, object]:
     """Sparse traffic on a big mesh: mostly-idle routers and NIs."""
-    best, result = _time_best(repeat, lambda: run_uniform(
-        Grid(16), injection_rate=0.002, cycles=3000, seed=1,
-        scheduler=scheduler,
-    ))
-    return {
-        "cycles": result.cycles,
-        "seconds": best,
-        "cycles_per_s": result.cycles / best,
-        "checksum": _network_checksum(result),
-        "received": result.received,
-    }
+    return _uniform_row(repeat, scheduler, engine,
+                        width=16, rate=0.002, cycles=3000)
 
 
-def _scenario_system(repeat: int, scheduler: str) -> Dict[str, object]:
+def _scenario_low_load_vector(
+    repeat: int, scheduler: str, engine: str = "vector"
+) -> Dict[str, object]:
+    """``low_load`` under the struct-of-arrays engine."""
+    return _scenario_low_load(repeat, scheduler, engine)
+
+
+def _scenario_system(
+    repeat: int, scheduler: str, engine: str = "object"
+) -> Dict[str, object]:
     """One full-system experiment cell (SeparateBase x kmeans)."""
     from .experiment import ExperimentConfig, run_experiment
 
     config = ExperimentConfig(quota=40, mcts_iterations=40,
-                              scheduler=scheduler)
+                              scheduler=scheduler, engine=engine)
     best, result = _time_best(
         repeat, lambda: run_experiment("SeparateBase", "kmeans", config)
     )
     return {
+        "engine": engine,
         "cycles": result.cycles,
         "seconds": best,
         "cycles_per_s": result.cycles / best,
@@ -123,17 +167,22 @@ def _scenario_system(repeat: int, scheduler: str) -> Dict[str, object]:
     }
 
 
-SCENARIOS: Dict[str, Callable[[int, str], Dict[str, object]]] = {
+SCENARIOS: Dict[str, Callable[..., Dict[str, object]]] = {
     "synthetic": _scenario_synthetic,
+    "synthetic_vector": _scenario_synthetic_vector,
     "low_load": _scenario_low_load,
+    "low_load_vector": _scenario_low_load_vector,
     "system": _scenario_system,
 }
 
 
 def run_scenario(
-    name: str, repeat: int = 3, scheduler: str = "active"
+    name: str,
+    repeat: int = 3,
+    scheduler: str = "active",
+    engine: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run one named scenario under one scheduler."""
+    """Run one named scenario under one scheduler (and engine)."""
     try:
         fn = SCENARIOS[name]
     except KeyError:
@@ -141,6 +190,8 @@ def run_scenario(
             f"unknown bench scenario {name!r}; "
             f"known: {sorted(SCENARIOS)}"
         ) from None
+    if engine is not None:
+        return fn(repeat, scheduler, engine)
     return fn(repeat, scheduler)
 
 
@@ -148,17 +199,27 @@ def run_bench(
     scenarios: Optional[Iterable[str]] = None,
     repeat: int = 3,
     scheduler: str = "active",
+    engine: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the scenario suite; returns the BENCH.json payload."""
+    """Run the scenario suite; returns the BENCH.json payload.
+
+    ``engine`` of ``None`` keeps each scenario's own engine (the
+    ``*_vector`` twins run vectorised, everything else object) — the
+    shape the gate's cross-engine checks expect.  Forcing one engine
+    for every scenario is a measurement convenience; gating a forced
+    run would trip the vector-speedup floor at 1.0x.
+    """
     names = list(scenarios) if scenarios is not None else list(SCENARIOS)
     return {
         "schema": BENCH_SCHEMA,
         "version": __version__,
         "scheduler": scheduler,
+        "engine": engine or "",
         "repeat": repeat,
         "calibration_s": calibrate(),
         "scenarios": {
-            name: run_scenario(name, repeat, scheduler) for name in names
+            name: run_scenario(name, repeat, scheduler, engine)
+            for name in names
         },
     }
 
@@ -175,6 +236,45 @@ def load_bench(path) -> Dict[str, object]:
     return json.loads(Path(path).read_text())
 
 
+def engine_violations(
+    rows: Dict[str, Dict[str, object]],
+    min_speedup: float = MIN_ENGINE_SPEEDUP,
+) -> List[str]:
+    """Cross-engine checks within one bench run.
+
+    * Paired scenarios (``ENGINE_PAIRS``) simulate the identical
+      configuration under both tick engines, so a checksum mismatch
+      means the engine-parity contract broke — always fatal.
+    * On ``synthetic`` the vector engine must clear ``min_speedup``
+      over the object engine.  Both figures come from the same run on
+      the same machine, so the ratio needs no calibration scaling.
+    """
+    violations: List[str] = []
+    for vec_name, obj_name in ENGINE_PAIRS:
+        vec = rows.get(vec_name)
+        obj = rows.get(obj_name)
+        if vec is None or obj is None:
+            continue
+        if vec["checksum"] != obj["checksum"]:
+            violations.append(
+                f"{obj_name}: object/vector checksum divergence "
+                f"{obj['checksum']} != {vec['checksum']} "
+                f"(engine-parity contract broke)"
+            )
+    vec = rows.get("synthetic_vector")
+    obj = rows.get("synthetic")
+    if vec is not None and obj is not None and obj["cycles_per_s"]:
+        speedup = vec["cycles_per_s"] / obj["cycles_per_s"]
+        if speedup < min_speedup:
+            violations.append(
+                f"synthetic: vector engine speedup {speedup:.2f}x is "
+                f"below the {min_speedup:.1f}x floor "
+                f"({vec['cycles_per_s']:.0f} vs "
+                f"{obj['cycles_per_s']:.0f} cycles/s)"
+            )
+    return violations
+
+
 def compare_bench(
     current: Dict[str, object],
     baseline: Dict[str, object],
@@ -182,26 +282,48 @@ def compare_bench(
 ) -> List[str]:
     """Gate a current run against a baseline; returns violations.
 
+    * A baseline without a usable ``scenarios`` mapping, or whose
+      ``schema`` does not match :data:`BENCH_SCHEMA`, is itself a
+      violation — an empty or stale baseline must never let the gate
+      pass vacuously.
     * Any checksum change is a violation — simulated behaviour drifted,
       no tolerance applies.
     * A cycles/s figure below ``expected * (1 - tolerance)`` is a
       violation, where ``expected`` is the baseline figure scaled by
-      the machines' calibration ratio (when both records carry
-      ``calibration_s``) — so a slower or busier machine is held to
-      what the baseline box would have scored at that speed, not to
-      its absolute numbers.
+      the machines' calibration ratio (when both records carry a
+      nonzero ``calibration_s``) — so a slower or busier machine is
+      held to what the baseline box would have scored at that speed,
+      not to its absolute numbers.  When either record lacks the
+      calibration figure the comparison runs *uncalibrated* and each
+      throughput violation says so explicitly.
     * A scenario present in the baseline but missing from the current
       run is a violation (silent coverage loss).
+    * Cross-engine checks (:func:`engine_violations`) run on the
+      current rows: object/vector checksum divergence and a vector
+      speedup below the floor are violations.
 
     Speedups and new scenarios never fail the gate.
     """
     violations: List[str] = []
+    base_schema = baseline.get("schema")
+    if base_schema != BENCH_SCHEMA:
+        violations.append(
+            f"baseline: schema {base_schema!r} does not match the "
+            f"gate's schema {BENCH_SCHEMA} (refresh BENCH_BASELINE)"
+        )
+    base_rows = baseline.get("scenarios")
+    if not isinstance(base_rows, dict) or not base_rows:
+        violations.append(
+            "baseline: no scenarios to compare against (empty or "
+            "malformed baseline — the gate cannot pass vacuously)"
+        )
+        base_rows = {}
     scale = 1.0
     base_cal = baseline.get("calibration_s")
     cur_cal = current.get("calibration_s")
-    if base_cal and cur_cal:
+    calibrated = bool(base_cal) and bool(cur_cal)
+    if calibrated:
         scale = base_cal / cur_cal
-    base_rows = baseline.get("scenarios", {})
     cur_rows = current.get("scenarios", {})
     for name in sorted(base_rows):
         base = base_rows[name]
@@ -219,12 +341,25 @@ def compare_bench(
         floor = expected * (1.0 - tolerance)
         if cur["cycles_per_s"] < floor:
             ratio = cur["cycles_per_s"] / expected
+            if calibrated:
+                detail = (
+                    f"the speed-adjusted baseline {expected:.0f} "
+                    f"(floor {floor:.0f}, tolerance {tolerance:.0%}, "
+                    f"machine-speed scale {scale:.2f})"
+                )
+            else:
+                detail = (
+                    f"the baseline {expected:.0f} compared "
+                    f"UNCALIBRATED — calibration_s missing from "
+                    f"{'baseline' if not base_cal else 'current'} "
+                    f"record (floor {floor:.0f}, tolerance "
+                    f"{tolerance:.0%})"
+                )
             violations.append(
                 f"{name}: {cur['cycles_per_s']:.0f} cycles/s is "
-                f"{ratio:.2f}x the speed-adjusted baseline "
-                f"{expected:.0f} (floor {floor:.0f}, tolerance "
-                f"{tolerance:.0%}, machine-speed scale {scale:.2f})"
+                f"{ratio:.2f}x {detail}"
             )
+    violations.extend(engine_violations(cur_rows))
     return violations
 
 
@@ -238,9 +373,10 @@ def format_bench(
         f"repeat {data.get('repeat')}, version {data.get('version')}"
     ]
     base_rows = (baseline or {}).get("scenarios", {})
-    for name, row in sorted(data.get("scenarios", {}).items()):
+    rows = data.get("scenarios", {})
+    for name, row in sorted(rows.items()):
         line = (
-            f"{name:<10} {row['cycles']:>8} cycles  "
+            f"{name:<18} {row['cycles']:>8} cycles  "
             f"{row['seconds']:.3f} s  "
             f"{row['cycles_per_s']:>10.0f} cycles/s  "
             f"checksum {row['checksum']}"
@@ -250,6 +386,14 @@ def format_bench(
             ratio = row["cycles_per_s"] / base["cycles_per_s"]
             line += f"  ({ratio:.2f}x baseline)"
         lines.append(line)
+    vec = rows.get("synthetic_vector")
+    obj = rows.get("synthetic")
+    if vec and obj and obj["cycles_per_s"]:
+        lines.append(
+            f"vector/object speedup on synthetic: "
+            f"{vec['cycles_per_s'] / obj['cycles_per_s']:.2f}x "
+            f"(floor {MIN_ENGINE_SPEEDUP:.1f}x)"
+        )
     return "\n".join(lines)
 
 

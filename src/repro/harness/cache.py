@@ -113,7 +113,18 @@ def _disk_read(path: Optional[Path]) -> Optional[Dict]:
 
 
 def _disk_write(path: Optional[Path], data: Dict) -> None:
-    """Atomically persist ``data`` (concurrent workers may race here)."""
+    """Atomically persist ``data`` (concurrent workers may race here).
+
+    Writes land in a ``mkstemp`` temp file in the target directory and
+    become visible via ``os.replace``, so a concurrent reader can never
+    observe a half-written entry under the final name — a crash
+    mid-write leaves only an orphaned ``*.tmp`` file, which no reader
+    opens (entry paths always end in ``.json``).  The temp file is
+    flushed and fsynced *before* the rename: without that, a power loss
+    shortly after ``os.replace`` could leave the final name pointing at
+    not-yet-durable bytes — a torn entry under the real key, the one
+    case the rename alone does not cover.
+    """
     if path is None:
         return
     tmp: Optional[str] = None
@@ -124,6 +135,8 @@ def _disk_write(path: Optional[Path], data: Dict) -> None:
         )
         with os.fdopen(fd, "w") as handle:
             json.dump(data, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except OSError:
         # A read-only store degrades to tier 1, never fails a run; but

@@ -472,7 +472,13 @@ class FaultInjector:
             return  # already down (overlapping specs)
         self.applied += 1
         net = target.net
+        # The injector mutates buffer/link state behind the scheduler's
+        # back, so any credit-stall hint is stale.  The wake happens at
+        # the end of this method, after every mutation, so the armed
+        # set tracks has_work exactly.
+        buf.stalled = False
         net.faults_fired = True
+        net.soa_invalidate()
         stats = net.stats
         if buf.cur_vc is not None:
             # Mid-wormhole: pull the on-wire flits back first.  They
@@ -495,7 +501,6 @@ class FaultInjector:
                 stats.flits_reclaimed += packet.size - len(wire)
                 buf.flits.clear()
                 target.ni.source_queue.appendleft(packet)
-                net.wake_ni(target.ni)
                 stats.packets_recovered += 1
                 buf.failed = True
             else:
@@ -510,11 +515,11 @@ class FaultInjector:
             stats.flits_reclaimed += len(buf.flits)
             buf.flits.clear()
             target.ni.source_queue.appendleft(packet)
-            net.wake_ni(target.ni)
             stats.packets_recovered += 1
             buf.failed = True
         else:
             buf.failed = True
+        net.wake_ni(target.ni)
 
     def _heal_buffer(self, target: _BufferTarget) -> None:
         buf = target.buf
@@ -522,16 +527,23 @@ class FaultInjector:
             self.healed += 1
         buf.failed = False
         buf.draining = False
+        # A healed buffer can accept queued packets again: wake the NI,
+        # whose sleep decision predates the heal.
+        buf.stalled = False
+        target.net.wake_ni(target.ni)
+        target.net.soa_invalidate()
 
     def _fail_link(self, target: _LinkTarget) -> None:
         if target.port not in target.router.failed_outputs:
             target.router.failed_outputs.add(target.port)
             target.net.faults_fired = True
+            target.net.soa_invalidate()
             self.applied += 1
 
     def _heal_link(self, target: _LinkTarget) -> None:
         if target.port in target.router.failed_outputs:
             target.router.failed_outputs.discard(target.port)
+            target.net.soa_invalidate()
             self.healed += 1
 
     # ------------------------------------------------------------------

@@ -33,7 +33,7 @@ class InjectionBuffer:
 
     __slots__ = ("network", "target_node", "target_port", "link", "flits",
                  "cur_vc", "interposer", "length", "failed", "draining",
-                 "flits_sent")
+                 "flits_sent", "stalled", "ni")
 
     def __init__(
         self,
@@ -61,6 +61,19 @@ class InjectionBuffer:
         # Lifetime flits this buffer pushed onto its link (telemetry:
         # the per-EIR injection-balance numbers of Figures 4/7).
         self.flits_sent = 0
+        # Credit stall: set when a send blocks on link credits, cleared
+        # by the returning credit (which also re-arms the owning NI).
+        # Purely a scheduling hint — a stalled buffer's try_send is a
+        # no-op, so skipping it cannot change simulation state.
+        self.stalled = False
+        self.ni: Optional["NetworkInterface"] = None
+        self.link.waker = self._on_credit
+
+    def _on_credit(self) -> None:
+        if self.stalled:
+            self.stalled = False
+            if self.ni is not None:
+                self.network.wake_ni(self.ni)
 
     @property
     def free(self) -> bool:
@@ -106,10 +119,15 @@ class InjectionBuffer:
                 allowed = self.network.vc_classes[packet.vc_class]
             free = self.link.free_vcs(allowed)
             if not free:
+                # Our own link's VCs are owned only by us, so "no free
+                # VC" here always means "no credits": sleep until one
+                # returns.
+                self.stalled = True
                 return
             self.cur_vc = max(free, key=lambda v: self.link.credits[v])
             self.link.owner[self.cur_vc] = self
         if self.cur_vc is None or self.link.credits[self.cur_vc] <= 0:
+            self.stalled = True
             return
         self.flits.popleft()
         self.link.credits[self.cur_vc] -= 1
@@ -205,6 +223,7 @@ class NetworkInterface:
     def _register(self) -> None:
         self.network.register_ni(self)
         for buf in self.buffers:
+            buf.ni = self
             self.network.upstream[(buf.target_node, buf.target_port)] = buf.link
 
     # ------------------------------------------------------------------
@@ -216,18 +235,28 @@ class NetworkInterface:
         self.network.wake_ni(self)
 
     def has_work(self) -> bool:
-        """Whether ticking this NI this cycle could have any effect."""
-        if self.source_queue:
-            return True
+        """Whether ticking this NI this cycle could have any effect.
+
+        A credit-stalled buffer does not count: its try_send is a no-op
+        until the blocking credit returns, and that return re-arms the
+        NI through the link's waker.  A queued packet counts only while
+        some buffer could accept it.
+        """
+        queue = self.source_queue
         for buf in self.buffers:
             if buf.flits:
+                if not buf.stalled:
+                    return True
+            elif queue and not buf.failed:
                 return True
         return False
 
     def tick(self, cycle: int) -> None:
-        self._assign(cycle)
+        if self.source_queue:
+            self._assign(cycle)
         for buf in self.buffers:
-            buf.try_send(cycle)
+            if buf.flits and not buf.stalled:
+                buf.try_send(cycle)
 
     def _load(self, buf: InjectionBuffer, packet: Packet, cycle: int) -> None:
         start = self.core.reserve(cycle, packet.size, self.core_rate)

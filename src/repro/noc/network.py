@@ -36,6 +36,9 @@ from .types import Flit, Packet
 SCHEDULER_ENV = "REPRO_SCHEDULER"
 SCHEDULERS = ("dense", "active")
 
+ENGINE_ENV = "REPRO_ENGINE"
+ENGINES = ("object", "vector")
+
 
 def resolve_scheduler(value: Optional[str] = None) -> str:
     """Normalise a scheduler choice (arg > ``REPRO_SCHEDULER`` > active)."""
@@ -49,8 +52,36 @@ def resolve_scheduler(value: Optional[str] = None) -> str:
     return value
 
 
+def resolve_engine(value: Optional[str] = None) -> str:
+    """Normalise a tick-engine choice (arg > ``REPRO_ENGINE`` > object).
+
+    ``object`` is the golden-reference per-object simulator; ``vector``
+    is the struct-of-arrays engine (:mod:`repro.noc.vector`), proven
+    bit-identical by the engine-parity differential contract.
+    """
+    if not value:
+        value = os.environ.get(ENGINE_ENV, "")
+    value = (value or "object").strip().lower()
+    if value not in ENGINES:
+        raise ValueError(
+            f"unknown engine {value!r}; expected one of {ENGINES}"
+        )
+    return value
+
+
+def network_class(engine: Optional[str] = None):
+    """The :class:`Network` subclass implementing ``engine``."""
+    if resolve_engine(engine) == "vector":
+        from .vector import VectorNetwork
+
+        return VectorNetwork
+    return Network
+
+
 class Network:
     """One physical NoC (mesh or concentrated mesh)."""
+
+    engine = "object"
 
     def __init__(
         self,
@@ -136,6 +167,13 @@ class Network:
         # when an NI buffer sends a head flit.  Tracers attach here; the
         # disabled path costs one attribute test per head flit.
         self.on_inject = None
+        # Optional observation hooks, fired by *every* engine: on_move
+        # for each committed crossbar traversal, on_deliver for each
+        # sink arrival (tail or not).  Tracers attach here instead of
+        # monkey-patching _commit/_deliver so the vector engine's
+        # batched commit path can honour them too.
+        self.on_move = None
+        self.on_deliver = None
 
     def _wire_mesh(self) -> None:
         for node in self.grid.nodes():
@@ -171,9 +209,18 @@ class Network:
         self.nis.append(ni)
 
     def wake_ni(self, ni: "object") -> None:
-        """Arm an NI that just gained work (enqueue or fault requeue)."""
+        """Resync an NI's armed state after a mutation outside its tick.
+
+        Call *after* the mutation (enqueue, credit return to a stalled
+        link, fault quarantine/heal/requeue): the NI is armed exactly
+        when it has work, keeping the armed set equal to the set of NIs
+        with work — the scheduler audit's invariant.
+        """
         if self._active_scheduler:
-            self._active_nis.add(ni._net_index)
+            if ni.has_work():
+                self._active_nis.add(ni._net_index)
+            else:
+                self._active_nis.discard(ni._net_index)
 
     # ------------------------------------------------------------------
     # Telemetry (read-only probes; see repro.telemetry)
@@ -312,6 +359,8 @@ class Network:
 
         for port, vc in self._credits.pop(cycle, ()):  # credit returns
             port.credits[vc] += 1
+            if port.waker is not None:
+                port.waker()
 
         for node, port, vc, flit in self._arrivals.pop(cycle, ()):
             if port < 0:  # ejection sink arrival; -port-1 is the eject port
@@ -324,10 +373,11 @@ class Network:
 
         # NIs.  All effects (flit onto a link, core reservation) are
         # local to the NI or scheduled >= 1 cycle ahead, and an NI only
-        # gains work outside its own tick via enqueue / fault requeue —
-        # both of which wake it — so visiting only armed NIs (in
-        # registration order, matching the dense walk over ``nis``) is
-        # bit-identical to visiting all of them.
+        # gains work outside its own tick via enqueue, fault requeue, or
+        # a credit returning to a stalled injection link — all of which
+        # wake it — so visiting only armed NIs (in registration order,
+        # matching the dense walk over ``nis``) is bit-identical to
+        # visiting all of them: ticking a credit-stalled NI is a no-op.
         if active:
             if self._active_nis:
                 idle_nis: List[int] = []
@@ -377,6 +427,8 @@ class Network:
         flit: Flit,
         cycle: int,
     ) -> None:
+        if self.on_move is not None:
+            self.on_move(router.node, in_port, in_vc, out_port, out_vc, flit, cycle)
         # A traversal occupies the router for at least one cycle; waits
         # in the input buffer add on top (the Figure-4 heat metric).
         self.stats.record_move(router.node, cycle - flit.buffered_at + 1)
@@ -401,6 +453,8 @@ class Network:
         self.last_progress = cycle
 
     def _deliver(self, node: int, eject_port: int, flit: Flit, cycle: int) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(node, eject_port, flit, cycle)
         if not flit.is_tail:
             return
         packet = flit.packet
@@ -448,6 +502,24 @@ class Network:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def sync_for_inspection(self) -> None:
+        """Make router/NI *objects* reflect canonical simulator state.
+
+        The object engine is always in sync, so this is a no-op; the
+        vector engine overrides it to materialise its struct-of-arrays
+        state back onto the Router/OutputPort objects.  Auditors and
+        dump tools call this before reading object state directly.
+        """
+
+    def soa_invalidate(self) -> None:
+        """Notify the engine that structure changed behind its back.
+
+        Fault injection mutates ``failed_outputs`` / ``faults_fired`` /
+        NI wiring directly on the objects; the vector engine overrides
+        this to drop its retry memoisation so every router re-attempts
+        allocation.  No-op for the object engine.
+        """
+
     def in_flight(self) -> int:
         """Flits buffered in routers plus scheduled arrivals."""
         if self._active_scheduler:

@@ -53,7 +53,7 @@ class OutputPort:
     """
 
     __slots__ = ("num_vcs", "credits", "owner", "latency", "rr", "interposer",
-                 "capacity")
+                 "capacity", "waker")
 
     def __init__(
         self, num_vcs: int, capacity: int, latency: int = 1,
@@ -66,6 +66,10 @@ class OutputPort:
         self.latency = latency
         self.rr = 0  # output-side round-robin pointer
         self.interposer = interposer
+        # Optional callback fired when a credit returns to this port.
+        # NI injection links use it to re-arm a credit-stalled NI under
+        # the active scheduler; router-to-router ports leave it None.
+        self.waker: Optional[object] = None
 
     def free_vcs(self, allowed: Sequence[int]) -> List[int]:
         """VCs in ``allowed`` that are unowned and have buffer space."""

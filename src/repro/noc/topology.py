@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from ..core.grid import Grid
-from .network import Network
+from .network import Network, network_class
 from .types import Packet
 
 
@@ -23,10 +23,12 @@ def build_mesh(
     width: int,
     flit_bytes: int,
     height: int = 0,
+    engine: Optional[str] = None,
     **kwargs,
 ) -> Network:
     """A plain ``width x height`` mesh network."""
-    return Network(name, Grid(width, height), flit_bytes, **kwargs)
+    cls = network_class(engine)
+    return cls(name, Grid(width, height), flit_bytes, **kwargs)
 
 
 @dataclass(frozen=True)
@@ -77,6 +79,7 @@ def build_cmesh(
     base: Grid,
     flit_bytes: int,
     concentration: int = 2,
+    engine: Optional[str] = None,
     **kwargs,
 ) -> Tuple[Network, CmeshMap, Dict[Tuple[int, int], int]]:
     """Build the interposer CMesh overlay network.
@@ -89,7 +92,8 @@ def build_cmesh(
     """
     cmap = CmeshMap(base, concentration)
     kwargs.setdefault("interposer_mesh_links", True)
-    net = Network(
+    cls = network_class(engine)
+    net = cls(
         "cmesh",
         cmap.cgrid,
         flit_bytes,

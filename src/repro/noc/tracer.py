@@ -36,9 +36,11 @@ class HopEvent:
 class PacketTracer:
     """Records hop events for packets selected by ``watch``.
 
-    The tracer monkey-wraps the network's ``_commit`` and ``_deliver``
-    internals and hooks ``on_inject`` — acceptable coupling for a
-    debugging tool that lives next to the network implementation.
+    The tracer attaches to the network's ``on_move`` / ``on_deliver`` /
+    ``on_inject`` observation hooks (chaining any hook already there),
+    which every engine fires — including the vector engine's batched
+    commit path, which falls back to a per-move Python loop only while
+    a hook is attached.
     """
 
     def __init__(
@@ -67,24 +69,26 @@ class PacketTracer:
 
     def _wrap(self) -> None:
         net = self.network
-        original_commit = net._commit
-        original_deliver = net._deliver
+        original_move = net.on_move
+        original_deliver = net.on_deliver
         original_inject = net.on_inject
+        routers = net.routers
 
-        def commit(router, in_port, in_vc, out_port, out_vc, flit, cycle):
-            kind = "eject" if out_port in router.eject_ports else "hop"
+        def move(node, in_port, in_vc, out_port, out_vc, flit, cycle):
+            kind = "eject" if out_port in routers[node].eject_ports else "hop"
             self._record(
                 flit.packet,
                 HopEvent(
                     cycle=cycle,
-                    node=router.node,
+                    node=node,
                     kind=kind,
                     flit_idx=flit.idx,
                     detail=f"p{in_port}v{in_vc}->p{out_port}v{out_vc}",
                 ),
             )
-            return original_commit(router, in_port, in_vc, out_port,
-                                   out_vc, flit, cycle)
+            if original_move is not None:
+                original_move(node, in_port, in_vc, out_port, out_vc,
+                              flit, cycle)
 
         def deliver(node, eject_port, flit, cycle):
             if flit.is_tail:
@@ -93,7 +97,8 @@ class PacketTracer:
                     HopEvent(cycle=cycle, node=node, kind="deliver",
                              flit_idx=flit.idx),
                 )
-            return original_deliver(node, eject_port, flit, cycle)
+            if original_deliver is not None:
+                original_deliver(node, eject_port, flit, cycle)
 
         def inject(buffer, flit, cycle):
             # The head flit leaving the NI buffer onto the injection
@@ -115,8 +120,8 @@ class PacketTracer:
             if original_inject is not None:
                 original_inject(buffer, flit, cycle)
 
-        net._commit = commit
-        net._deliver = deliver
+        net.on_move = move
+        net.on_deliver = deliver
         net.on_inject = inject
 
     # ------------------------------------------------------------------

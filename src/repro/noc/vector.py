@@ -1,0 +1,1432 @@
+"""Struct-of-arrays tick engine, bit-identical to the object model.
+
+:class:`VectorNetwork` replaces the per-object router tick with batched
+numpy phases over flat arrays.  All router state lives in
+struct-of-arrays form:
+
+* every input VC is a *slot* ``(node * P + port) * V + vc`` where ``P``
+  is the network-wide input-port stride and ``V`` the VC count; a slot
+  owns a power-of-two ring of flit ids (``ring``/``headpos``/``qlen``)
+  and its allocated route (``route_cs``/``route_oi``/``route_dest``);
+* every router output VC is a *credit slot* holding its credit count
+  (``credits_all``), an ``owned`` flag, and the owner identity encoded
+  as ``port * V + vc`` (decoded back to the ``(port, vc)`` tuples the
+  audits expect only on materialisation);
+* flits are interned integer ids into ``f_objs``; the hot phases touch
+  only the ``f_tail``/``f_buffered`` arrays.
+
+Per cycle the engine applies pending credits and arrivals with fancy
+indexing, selects the winning request of every input port with one
+vectorised rotate-min, and evaluates route/VC allocations in batch:
+route candidates are a precomputed ``[same-source-column, cur, dst]``
+table (the only thing odd-even routing asks about the source is whether
+it shares the current router's column), so the common allocation shape
+— no fired faults, no VC monopolisation, unfiltered single eject port,
+at most one attempting head per router — reduces to gathers over the
+credit/owner arrays.  Anything else falls back to an exact Python
+replica of the object router's scan for just the affected ports.  A
+per-node ``epoch`` vs per-slot ``fail_epoch`` comparison skips retries
+that cannot succeed: a failed allocation mutates nothing in the object
+model, so eliding one is bit-identical, and every event that could
+change an allocation's outcome (arrival, pop, credit return, owner
+release, delivered-packet pop, fault fire/heal) bumps the affected
+router's epoch.
+
+The object model stays the golden reference: the engine-parity
+differential property pins ``stats_fingerprint`` equality across the
+verify config space, and :meth:`sync_for_inspection` materialises the
+SoA back onto the Router/OutputPort objects so the conservation audits
+and diagnostics read the same state they would under the object engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from . import routing
+from .network import Network
+from .router import Router
+from .types import Flit, Packet
+
+
+def _next_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def _route_tables(grid, algorithm: str) -> Tuple[np.ndarray, np.ndarray]:
+    """Candidate output directions for every (same-column, cur, dst).
+
+    Returns two flat ``2*N*N`` arrays (first/second candidate, ``-1``
+    for none) indexed ``same*N*N + cur*N + dst``, where ``same`` is
+    whether the packet's source router shares ``cur``'s column — the
+    only property of the source either routing function looks at.
+    Entry order matches the list order of :func:`routing.xy_route` /
+    :func:`routing.odd_even_routes`, which the strictly-greater credit
+    comparison in ``_scan_outputs`` depends on.
+    """
+    N = grid.size
+    W = grid.width
+    ids = np.arange(N, dtype=np.int64)
+    cx = ids % W
+    cy = ids // W
+    ex = cx[None, :] - cx[:, None]  # [cur, dst]
+    ey = cy[None, :] - cy[:, None]
+    vert = np.where(ey > 0, routing.PORT_S, routing.PORT_N)
+    none = np.full((N, N), -1, dtype=np.int64)
+    if algorithm == "xy":
+        c1 = np.where(
+            ex > 0, routing.PORT_E,
+            np.where(ex < 0, routing.PORT_W,
+                     np.where(ey > 0, routing.PORT_S,
+                              np.where(ey < 0, routing.PORT_N, -1))),
+        )
+        flat1 = np.concatenate([c1.ravel(), c1.ravel()])
+        flat2 = np.concatenate([none.ravel(), none.ravel()])
+        return flat1, flat2
+    if algorithm != "oddeven":
+        raise ValueError(f"unknown routing algorithm {algorithm!r}")
+    even_col = (cx % 2 == 0)[:, None]
+    dst_odd = (cx % 2 == 1)[None, :]
+    east = ex > 0
+    west = ex < 0
+    ey0 = ey == 0
+    ones = []
+    twos = []
+    for same in (False, True):
+        c1 = none.copy()
+        c2 = none.copy()
+        m = (ex == 0) & ~ey0
+        c1[m] = vert[m]
+        m = east & ey0
+        c1[m] = routing.PORT_E
+        m = east & ~ey0
+        mv = m & (~even_col | same)          # vertical is turn-legal
+        me = m & (dst_odd | (ex != 1))       # continuing east is legal
+        c1[mv] = vert[mv]
+        first_e = me & ~mv
+        c1[first_e] = routing.PORT_E
+        sec_e = me & mv
+        c2[sec_e] = routing.PORT_E
+        c1[west] = routing.PORT_W
+        wv = west & even_col & ~ey0
+        c2[wv] = vert[wv]
+        ones.append(c1.ravel())
+        twos.append(c2.ravel())
+    return np.concatenate(ones), np.concatenate(twos)
+
+
+class _SoA:
+    """Flat-array snapshot of one network, imported from object state.
+
+    Construction reads whatever the Router/OutputPort/event-dict objects
+    currently hold, so building at the first tick (empty network) and
+    rebuilding after a structural change (ports added mid-run, after a
+    materialise) share one code path.
+    """
+
+    def __init__(self, net: "VectorNetwork") -> None:
+        grid = net.grid
+        routers = net.routers
+        N = grid.size
+        V = net.num_vcs
+        self.N = N
+        self.V = V
+        P = 1 + max(max(r.inputs) for r in routers)
+        self.P = P
+        S = N * P * V
+        self.S = S
+        C = _next_pow2(max(2, net.vc_capacity))
+        self.C = C
+        self.cmask = C - 1
+        self.version = -1
+
+        # --- flit interning --------------------------------------------
+        self.f_objs: List[Flit] = []
+        self.f_cap = 1024
+        self.f_tail = np.zeros(self.f_cap, dtype=np.uint8)
+        self.f_head = np.zeros(self.f_cap, dtype=np.uint8)
+        self.f_buffered = np.zeros(self.f_cap, dtype=np.int64)
+        self.f_dst = np.zeros(self.f_cap, dtype=np.int64)
+        self.f_cls = np.zeros(self.f_cap, dtype=np.int64)
+        # Routing source (inject_router): assigned by the NI *after* the
+        # head flit is scheduled, so it is filled lazily at the first
+        # allocation attempt rather than at registration.
+        self.f_src = np.full(self.f_cap, -1, dtype=np.int64)
+        self.f_n = 0
+
+        # --- input slots -----------------------------------------------
+        self.ring = np.full(S * C, -1, dtype=np.int64)
+        self.headpos = np.zeros(S, dtype=np.int64)
+        self.qlen = np.zeros(S, dtype=np.int64)
+        self.route_cs = np.full(S, -1, dtype=np.int64)   # credit slot or -1
+        self.route_oi = np.full(S, -1, dtype=np.int64)   # output index
+        self.route_dest = np.full(S, -1, dtype=np.int64)  # dest slot / S+oi
+        self.rr_in = np.zeros(N * P, dtype=np.int64)
+        self.fail_epoch = np.full(S, -1, dtype=np.int64)
+        self.epoch = np.zeros(N, dtype=np.int64)
+        self.slot_node = np.repeat(np.arange(N, dtype=np.int64), P * V)
+        self.slot_vc = np.tile(np.arange(V, dtype=np.int64), N * P)
+
+        # --- outputs / credit slots ------------------------------------
+        out_obj = []
+        out_node = []
+        out_port_nr = []
+        out_base = []
+        dest_base = []
+        cs_pair: List[Tuple[object, int]] = []
+        cs_node: List[int] = []
+        owner: List[Optional[object]] = []
+        credits: List[int] = []
+        self.out_idx: Dict[Tuple[int, int], int] = {}
+        self.id2oi: Dict[int, int] = {}
+        base = 0
+        for node, router in enumerate(routers):
+            for port in sorted(router.outputs):
+                out = router.outputs[port]
+                oi = len(out_obj)
+                self.out_idx[(node, port)] = oi
+                self.id2oi[id(out)] = oi
+                out_obj.append(out)
+                out_node.append(node)
+                out_port_nr.append(port)
+                out_base.append(base)
+                if port in router.neighbors:
+                    nbr, nbr_port = router.neighbors[port]
+                    dest_base.append((nbr * P + nbr_port) * V)
+                else:
+                    dest_base.append(-1)
+                for v in range(out.num_vcs):
+                    cs_pair.append((out, v))
+                    cs_node.append(node)
+                    owner.append(out.owner[v])
+                    credits.append(out.credits[v])
+                base += out.num_vcs
+        self.num_out = len(out_obj)
+        self.out_obj = out_obj
+        self.out_node = out_node
+        self.out_port_nr = out_port_nr
+        self.out_base = np.array(out_base, dtype=np.int64)
+        self.dest_base = np.array(dest_base, dtype=np.int64)
+        self.cs_pair = cs_pair
+        self.cs_node = np.array(cs_node, dtype=np.int64)
+        # Owner identity, encoded port * V + vc; only meaningful where
+        # ``owned`` is set (stale codes are never read).
+        self.owner_code = np.array(
+            [-1 if o is None else o[0] * V + o[1] for o in owner],
+            dtype=np.int64,
+        )
+        self.credits_all = np.array(credits, dtype=np.int64)
+        self.out_rr = np.array([o.rr for o in out_obj], dtype=np.int64)
+        rr_mod = np.array([r.rr_mod for r in routers], dtype=np.int64)
+        self.rr_mod_out = rr_mod[np.array(out_node, dtype=np.int64)]
+
+        # --- upstream credit wiring per input slot ---------------------
+        self.up_cs = np.full(S, -1, dtype=np.int64)
+        self.up_obj: List[Optional[Tuple[object, int]]] = [None] * S
+        for (node, port), obj in net.upstream.items():
+            oi = self.id2oi.get(id(obj))
+            for vc in range(V):
+                slot = (node * P + port) * V + vc
+                if oi is not None:
+                    self.up_cs[slot] = out_base[oi] + vc
+                else:
+                    self.up_obj[slot] = (obj, vc)
+
+        self.vc_orders = [
+            tuple((s + k) % V for k in range(V)) for s in range(V)
+        ]
+        self.peak = np.array([r.peak_flits for r in routers], dtype=np.int64)
+        self.buffered_total = 0
+
+        # --- vectorised-allocator tables -------------------------------
+        self.owned = np.array(
+            [0 if o is None else 1 for o in owner], dtype=np.uint8
+        )
+        NM = routing.NUM_MESH_PORTS
+        self.node_out = np.full(N * NM, -1, dtype=np.int64)
+        for (node, port), oi in self.out_idx.items():
+            if port < NM:
+                self.node_out[node * NM + port] = oi
+        # Eject fast path: one unfiltered eject port (out_vc is always 0)
+        self.ej_oi = np.full(N, -1, dtype=np.int64)
+        self.ej_cs = np.zeros(N, dtype=np.int64)
+        self.ej_rare = np.ones(N, dtype=np.uint8)
+        for node, router in enumerate(routers):
+            eps = router.eject_ports
+            if router.eject_filter is None and len(eps) == 1:
+                oi = self.out_idx[(node, eps[0])]
+                self.ej_oi[node] = oi
+                self.ej_cs[node] = out_base[oi]
+                self.ej_rare[node] = 0
+        classes = net.vc_classes
+        self.av0 = np.zeros(len(classes), dtype=np.int64)
+        self.av1 = np.full(len(classes), -1, dtype=np.int64)
+        self.cls_rare = np.zeros(len(classes), dtype=np.uint8)
+        for c, allowed in enumerate(classes):
+            if not 1 <= len(allowed) <= 2:
+                self.cls_rare[c] = 1
+                continue
+            self.av0[c] = allowed[0]
+            if len(allowed) == 2:
+                self.av1[c] = allowed[1]
+        self.any_monopolize = any(r.monopolize for r in routers)
+        self.cand1, self.cand2 = _route_tables(
+            grid, routers[0].routing_algorithm
+        )
+
+        # --- pending events (applied at the start of the next tick) ----
+        self.p_slots: List[int] = []
+        self.p_vids: List[int] = []
+        self.p_sink: List[Tuple[int, int, Flit]] = []
+        self.p_cs: List[int] = []
+        self.p_obj_credits: List[Tuple[object, int]] = []
+        self.far: Dict[int, List[Tuple[int, int]]] = {}
+
+        # --- import current object state -------------------------------
+        for node, router in enumerate(routers):
+            for port in router.input_ports:
+                self.rr_in[node * P + port] = router.rr_in[port]
+                for vc in range(V):
+                    ivc = router.inputs[port][vc]
+                    slot = (node * P + port) * V + vc
+                    for k, flit in enumerate(ivc.queue):
+                        self.ring[slot * C + (k & self.cmask)] = (
+                            self.register(flit)
+                        )
+                    self.qlen[slot] = len(ivc.queue)
+                    self.buffered_total += len(ivc.queue)
+                    if ivc.out_port is not None:
+                        oi = self.out_idx[(node, ivc.out_port)]
+                        self.route_oi[slot] = oi
+                        self.route_cs[slot] = out_base[oi] + ivc.out_vc
+                        db = dest_base[oi]
+                        self.route_dest[slot] = (
+                            S + oi if db < 0 else db + ivc.out_vc
+                        )
+        # Rotation key of every slot under its port's current rr_in,
+        # kept incrementally: rr_in only changes at traversal commits,
+        # which rewrite the winner ports' V entries.
+        self.arangeV = np.arange(V, dtype=np.int64)
+        self.key = (self.slot_vc - np.repeat(self.rr_in, V)) % V
+        next_cycle = net.cycle + 1
+        for cycle in sorted(net._arrivals):
+            for node, port, vc, flit in net._arrivals[cycle]:
+                if port < 0:
+                    self.p_sink.append((node, -port - 1, flit))
+                    continue
+                slot = (node * P + port) * V + vc
+                vid = self.register(flit)
+                if cycle == next_cycle:
+                    pending_here = self.p_slots.count(slot)
+                    pos = slot * C + (
+                        (int(self.headpos[slot]) + int(self.qlen[slot])
+                         + pending_here) & self.cmask
+                    )
+                    self.ring[pos] = vid
+                    self.p_slots.append(slot)
+                    self.p_vids.append(vid)
+                else:
+                    self.far.setdefault(cycle, []).append((slot, vid))
+        for cycle in sorted(net._credits):
+            for obj, vc in net._credits[cycle]:
+                oi = self.id2oi.get(id(obj))
+                if oi is not None:
+                    self.p_cs.append(out_base[oi] + vc)
+                else:
+                    self.p_obj_credits.append((obj, vc))
+
+    # ------------------------------------------------------------------
+    def register(self, flit: Flit) -> int:
+        """Intern a flit, returning its integer id."""
+        i = self.f_n
+        if i >= self.f_cap:
+            self.f_cap *= 2
+            tail = np.zeros(self.f_cap, dtype=np.uint8)
+            tail[:i] = self.f_tail
+            self.f_tail = tail
+            head = np.zeros(self.f_cap, dtype=np.uint8)
+            head[:i] = self.f_head
+            self.f_head = head
+            for name in ("f_buffered", "f_dst", "f_cls", "f_src"):
+                old = getattr(self, name)
+                buf = np.full(self.f_cap, -1, dtype=np.int64)
+                buf[:i] = old
+                setattr(self, name, buf)
+        self.f_objs.append(flit)
+        packet = flit.packet
+        if flit.is_tail:
+            self.f_tail[i] = 1
+        if flit.is_head:
+            self.f_head[i] = 1
+        self.f_buffered[i] = flit.buffered_at
+        self.f_dst[i] = packet.dst
+        self.f_cls[i] = packet.vc_class
+        self.f_n = i + 1
+        return i
+
+
+class VectorNetwork(Network):
+    """The ``--engine vector`` network: SoA state, batched tick phases."""
+
+    engine = "vector"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._soa: Optional[_SoA] = None
+        self._struct_version = 0
+
+    # ------------------------------------------------------------------
+    # Structure tracking (ports are only added through these two)
+    # ------------------------------------------------------------------
+    def add_injection_port(self, node: int) -> int:
+        self._struct_version += 1
+        return super().add_injection_port(node)
+
+    def add_eject_port(self, node: int, capacity: Optional[int] = None) -> int:
+        self._struct_version += 1
+        return super().add_eject_port(node, capacity)
+
+    def _ensure_soa(self) -> _SoA:
+        soa = self._soa
+        if soa is not None and soa.version == self._struct_version:
+            return soa
+        if soa is not None:
+            self._materialize()
+        soa = _SoA(self)
+        soa.version = self._struct_version
+        self._soa = soa
+        return soa
+
+    # ------------------------------------------------------------------
+    # Event scheduling overrides
+    # ------------------------------------------------------------------
+    def schedule_flit(
+        self, cycle: int, node: int, port: int, vc: int, flit: Flit
+    ) -> None:
+        soa = self._soa
+        if soa is None:
+            super().schedule_flit(cycle, node, port, vc, flit)
+            return
+        vid = soa.register(flit)
+        slot = (node * soa.P + port) * soa.V + vc
+        if cycle == self.cycle + 1:
+            # The landing position is stable until the arrival applies:
+            # pops keep headpos+qlen invariant, commits never target
+            # NI-fed slots, and one buffer feeds each slot at most one
+            # flit per cycle.
+            pos = slot * soa.C + (
+                (int(soa.headpos[slot]) + int(soa.qlen[slot])) & soa.cmask
+            )
+            soa.ring[pos] = vid
+            soa.p_slots.append(slot)
+            soa.p_vids.append(vid)
+        else:
+            soa.far.setdefault(cycle, []).append((slot, vid))
+
+    def reclaim_scheduled_flits(self, node: int, port: int) -> List[Flit]:
+        soa = self._soa
+        if soa is None:
+            return super().reclaim_scheduled_flits(node, port)
+        lo = (node * soa.P + port) * soa.V
+        hi = lo + soa.V
+        out: List[Flit] = []
+        keep_s: List[int] = []
+        keep_v: List[int] = []
+        for s, v in zip(soa.p_slots, soa.p_vids):
+            if lo <= s < hi:
+                out.append(soa.f_objs[v])
+            else:
+                keep_s.append(s)
+                keep_v.append(v)
+        soa.p_slots = keep_s
+        soa.p_vids = keep_v
+        if soa.far:
+            for cycle in sorted(soa.far):
+                events = soa.far[cycle]
+                kept = [(s, v) for s, v in events if not lo <= s < hi]
+                if len(kept) == len(events):
+                    continue
+                out.extend(
+                    soa.f_objs[v] for s, v in events if lo <= s < hi
+                )
+                if kept:
+                    soa.far[cycle] = kept
+                else:
+                    del soa.far[cycle]
+        return out
+
+    # ------------------------------------------------------------------
+    # Receive side
+    # ------------------------------------------------------------------
+    def pop_delivered(self, node: int, port: Optional[int] = None) -> Optional[Packet]:
+        soa = self._soa
+        if soa is None:
+            return super().pop_delivered(node, port)
+        if not self._delivered.get(node):
+            return None
+        rotate = False
+        start = 0
+        if port is not None:
+            ports = [port]
+        else:
+            ports = self.routers[node].eject_ports
+            if len(ports) > 1:
+                rotate = True
+                start = self._pop_rr.get(node, 0)
+                ports = ports[start:] + ports[:start]
+        for k, p in enumerate(ports):
+            queue = self.receive_queues.get((node, p))
+            if queue:
+                packet, eject_port = queue.popleft()
+                oi = soa.id2oi.get(id(eject_port))
+                if oi is None:
+                    eject_port.credits[0] += packet.size
+                else:
+                    soa.credits_all[int(soa.out_base[oi])] += packet.size
+                    soa.epoch[soa.out_node[oi]] = self.cycle + 1
+                self._delivered[node] -= 1
+                self._delivered_total -= 1
+                if rotate:
+                    self._pop_rr[node] = (start + k + 1) % len(ports)
+                return packet
+        return None
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        soa = self._ensure_soa()
+        self.cycle += 1
+        cycle = self.cycle
+        stats = self.stats
+        stats.cycles += 1
+
+        # --- pending credit returns ------------------------------------
+        if soa.p_cs:
+            cs = np.array(soa.p_cs, dtype=np.int64)
+            soa.credits_all[cs] += 1  # distinct winners -> distinct slots
+            soa.epoch[soa.cs_node[cs]] = cycle
+            soa.p_cs = []
+        if soa.p_obj_credits:
+            for obj, vc in soa.p_obj_credits:
+                obj.credits[vc] += 1
+                if obj.waker is not None:
+                    obj.waker()
+            soa.p_obj_credits = []
+
+        # --- pending arrivals ------------------------------------------
+        if soa.far:
+            events = soa.far.pop(cycle, None)
+            if events:
+                for slot, vid in events:
+                    pos = slot * soa.C + (
+                        (int(soa.headpos[slot]) + int(soa.qlen[slot]))
+                        & soa.cmask
+                    )
+                    soa.ring[pos] = vid
+                    soa.p_slots.append(slot)
+                    soa.p_vids.append(vid)
+        if soa.p_slots:
+            slots = np.array(soa.p_slots, dtype=np.int64)
+            vids = np.array(soa.p_vids, dtype=np.int64)
+            soa.p_slots = []
+            soa.p_vids = []
+            prev = soa.qlen[slots]
+            soa.qlen[slots] = prev + 1
+            soa.f_buffered[vids] = cycle
+            # Only a previously empty slot gained a new front flit (a
+            # fresh head that must attempt); an arrival behind an
+            # existing front changes nothing an allocation reads —
+            # outcomes depend solely on this router's output
+            # owner/credit state — so its fail memo stays valid.
+            soa.fail_epoch[slots[prev == 0]] = -1
+            stats.buffer_writes += len(slots)
+            soa.buffered_total += len(slots)
+            counts = soa.qlen.reshape(soa.N, -1).sum(axis=1)
+            np.maximum(soa.peak, counts, out=soa.peak)
+        if soa.p_sink:
+            sink = soa.p_sink
+            soa.p_sink = []
+            for node, eject_port, flit in sink:
+                self._deliver(node, eject_port, flit, cycle)
+
+        # --- NI phase (identical discipline to the object engine) ------
+        if self._active_scheduler:
+            if self._active_nis:
+                idle_nis: List[int] = []
+                nis = self.nis
+                for idx in sorted(self._active_nis):
+                    ni = nis[idx]
+                    ni.tick(cycle)
+                    if not ni.has_work():
+                        idle_nis.append(idx)
+                for idx in idle_nis:
+                    self._active_nis.discard(idx)
+        else:
+            for ni in self.nis:
+                ni.tick(cycle)
+
+        if not soa.buffered_total:
+            return
+
+        # --- request selection -----------------------------------------
+        V = soa.V
+        occ = soa.qlen > 0
+        routed = soa.route_cs >= 0
+        ready = occ & routed
+        ready &= soa.credits_all[np.where(routed, soa.route_cs, 0)] > 0
+        attempt = occ & ~routed
+        any_att = attempt.any()
+        if any_att:
+            attempt &= soa.epoch[soa.slot_node] > soa.fail_epoch
+        elif not ready.any():
+            return
+        key = soa.key
+        # Per-port minimum rotation key over ready slots.  Fresh
+        # allocations update it in place inside _attempt, so the winner
+        # selection below reuses it without a second full-size pass.
+        pm = np.where(ready, key, V).reshape(-1, V).min(axis=1)
+        scan_ports: List[int] = []
+        if any_att:
+            att_idx = np.flatnonzero(attempt)
+            if len(att_idx):
+                # Only head flits attempt; a body at the front of an
+                # unrouted VC is skipped by the rotation like an empty
+                # slot.
+                hv = soa.ring[
+                    att_idx * soa.C + (soa.headpos[att_idx] & soa.cmask)
+                ]
+                is_h = soa.f_head[hv].astype(bool)
+                if not is_h.all():
+                    att_idx = att_idx[is_h]
+                    hv = hv[is_h]
+            if len(att_idx):
+                # The object scan stops at the first requesting slot, so
+                # an attempt happens only when no ready slot precedes it
+                # in the port's VC rotation.
+                reach = key[att_idx] < pm[att_idx // V]
+                att_idx = att_idx[reach]
+                hv = hv[reach]
+            if len(att_idx):
+                scan_ports = self._attempt(soa, att_idx, hv, key, ready,
+                                           pm, cycle)
+        vec_mask = pm < V
+        if scan_ports:
+            blocked = np.zeros(len(pm), dtype=bool)
+            blocked[scan_ports] = True
+            vec_mask &= ~blocked
+        vp = np.flatnonzero(vec_mask)
+        if len(vp):
+            keyed_sub = np.where(
+                ready.reshape(-1, V)[vp], key.reshape(-1, V)[vp], V
+            )
+            v_slot = vp * V + keyed_sub.argmin(axis=1)
+            v_oi = soa.route_oi[v_slot]
+            v_cs = soa.route_cs[v_slot]
+            v_dest = soa.route_dest[v_slot]
+        else:
+            v_slot = v_oi = v_cs = v_dest = np.empty(0, dtype=np.int64)
+        if scan_ports:
+            s_slot: List[int] = []
+            s_oi: List[int] = []
+            s_cs: List[int] = []
+            s_dest: List[int] = []
+            for p in scan_ports:
+                r = self._scan_port(soa, p, cycle)
+                if r is not None:
+                    s_slot.append(r[0])
+                    s_oi.append(r[1])
+                    s_cs.append(r[2])
+                    s_dest.append(r[3])
+            if s_slot:
+                # Splice scanned requests into global port order, so the
+                # request list matches the object engine's port-ascending
+                # construction exactly.
+                sl = np.array(s_slot, dtype=np.int64)
+                pos = np.searchsorted(v_slot, sl)
+                v_slot = np.insert(v_slot, pos, sl)
+                v_oi = np.insert(v_oi, pos, np.array(s_oi, dtype=np.int64))
+                v_cs = np.insert(v_cs, pos, np.array(s_cs, dtype=np.int64))
+                v_dest = np.insert(
+                    v_dest, pos, np.array(s_dest, dtype=np.int64)
+                )
+        nrq = len(v_slot)
+        if not nrq:
+            return
+
+        # --- output arbitration ----------------------------------------
+        if nrq == 1:
+            w_slot, w_oi, w_cs, w_dest = v_slot, v_oi, v_cs, v_dest
+        else:
+            order = np.argsort(v_oi, kind="stable")
+            so = v_oi[order]
+            starts = np.flatnonzero(
+                np.concatenate(([True], so[1:] != so[:-1]))
+            )
+            akey = (
+                (v_slot // V) % soa.P - soa.out_rr[v_oi]
+            ) % soa.rr_mod_out[v_oi]
+            # Input ports are distinct per output, so keys never tie and
+            # the packed min recovers the unique winner index (nrq is
+            # bounded by the port count, which is at most S).
+            comb = akey * soa.S + np.arange(nrq, dtype=np.int64)
+            w_idx = np.minimum.reduceat(comb[order], starts) % soa.S
+            # The object engine emits winners in first-appearance order
+            # of their output in the request list (dict insertion
+            # order); a stable sort's group starts give exactly that.
+            w_idx = w_idx[np.argsort(order[starts], kind="stable")]
+            w_slot = v_slot[w_idx]
+            w_oi = v_oi[w_idx]
+            w_cs = v_cs[w_idx]
+            w_dest = v_dest[w_idx]
+        n = len(w_slot)
+        heads = soa.headpos[w_slot]
+        vids = soa.ring[w_slot * soa.C + (heads & soa.cmask)]
+        soa.headpos[w_slot] = heads + 1
+        soa.qlen[w_slot] -= 1
+        soa.buffered_total -= n
+        soa.credits_all[w_cs] -= 1
+        w_port = w_slot // V
+        newrr = (w_slot % V + 1) % V
+        soa.rr_in[w_port] = newrr
+        # Winner ports are unique (one request per input port per
+        # cycle), so the incremental rotation-key rewrite is exact.
+        soa.key[(w_port[:, None] * V + soa.arangeV).ravel()] = (
+            (soa.arangeV - newrr[:, None]) % V
+        ).ravel()
+        soa.out_rr[w_oi] = (w_port % soa.P + 1) % soa.rr_mod_out[w_oi]
+        nodes_w = soa.slot_node[w_slot]
+        if soa.any_monopolize:
+            # VC monopolisation reads foreign-VC queue occupancy, which
+            # any move changes, so keep the broad invalidation there.
+            soa.epoch[nodes_w] = cycle + 1
+        stats.buffer_reads += n
+        stats.xbar_traversals += n
+        residence = cycle - soa.f_buffered[vids] + 1
+        np.add.at(stats.residence_cycles, nodes_w, residence)
+        np.add.at(stats.residence_count, nodes_w, 1)
+        tails = soa.f_tail[vids].astype(bool)
+        if tails.any():
+            t_slot = w_slot[tails]
+            soa.route_cs[t_slot] = -1
+            soa.route_oi[t_slot] = -1
+            soa.route_dest[t_slot] = -1
+            soa.fail_epoch[t_slot] = -1
+            t_cs = w_cs[tails]
+            soa.owned[t_cs] = 0
+            # A tail traversal releases an output VC of its own router:
+            # the only commit-side event that can turn a failed
+            # allocation into a success there.  Non-tail moves only
+            # consume credits, so they leave fail memos valid.
+            soa.epoch[soa.slot_node[t_slot]] = cycle + 1
+        ucs = soa.up_cs[w_slot]
+        has_up = ucs >= 0
+        soa.p_cs.extend(ucs[has_up].tolist())
+        if not has_up.all():
+            for s in w_slot[~has_up].tolist():
+                pair = soa.up_obj[s]
+                if pair is not None:
+                    soa.p_obj_credits.append(pair)
+        is_ej = w_dest >= soa.S
+        if is_ej.any():
+            mesh = ~is_ej
+            mesh_d = w_dest[mesh]
+            mesh_v = vids[mesh]
+            ej_oi = w_oi[is_ej].tolist()
+            ej_vids = vids[is_ej].tolist()
+            stats.flits_ejected += len(ej_oi)
+            for oi, vid in zip(ej_oi, ej_vids):
+                flit = soa.f_objs[vid]
+                flit.packet.eject_port = soa.out_obj[oi]
+                soa.p_sink.append(
+                    (soa.out_node[oi], soa.out_port_nr[oi], flit)
+                )
+        else:
+            mesh_d = w_dest
+            mesh_v = vids
+        nm = len(mesh_d)
+        if nm:
+            pos = mesh_d * soa.C + (
+                (soa.headpos[mesh_d] + soa.qlen[mesh_d]) & soa.cmask
+            )
+            soa.ring[pos] = mesh_v
+            soa.p_slots.extend(mesh_d.tolist())
+            soa.p_vids.extend(mesh_v.tolist())
+            if self.interposer_mesh_links:
+                stats.link_hops_interposer += nm
+                stats.interposer_hop_length += float(nm)
+            else:
+                stats.link_hops_onchip += nm
+        self.last_progress = cycle
+        if self.on_move is not None:
+            for i in range(n):
+                slot = int(w_slot[i])
+                oi = int(w_oi[i])
+                self.on_move(
+                    int(nodes_w[i]),
+                    (slot // V) % soa.P,
+                    slot % V,
+                    soa.out_port_nr[oi],
+                    int(w_cs[i]) - int(soa.out_base[oi]),
+                    soa.f_objs[int(vids[i])],
+                    cycle,
+                )
+
+    # ------------------------------------------------------------------
+    # Batched route/VC allocation for the common shape
+    # ------------------------------------------------------------------
+    def _eval_candidate(
+        self, soa: _SoA, oi: np.ndarray, v0: np.ndarray, v1: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Evaluate one route candidate column for a batch of attempts.
+
+        Returns ``(has_free, best_vc, total_credits)`` with the object
+        model's exact choice rule: the free VC with the most credits,
+        first-of-ties in allowed order.  Entries with ``oi < 0`` read
+        garbage and must be masked by the caller.
+        """
+        credits = soa.credits_all
+        owned = soa.owned
+        b = soa.out_base[np.where(oi >= 0, oi, 0)]
+        cs0 = b + v0
+        cr0 = credits[cs0]
+        f0 = (owned[cs0] == 0) & (cr0 > 0)
+        hasv1 = v1 >= 0
+        cs1 = b + np.where(hasv1, v1, v0)
+        cr1 = np.where(hasv1, credits[cs1], 0)
+        f1 = hasv1 & (owned[cs1] == 0) & (cr1 > 0)
+        has = (oi >= 0) & (f0 | f1)
+        vc = np.where(f0 & (~f1 | (cr0 >= cr1)), v0, v1)
+        return has, vc, cr0 + cr1
+
+    def _attempt(
+        self,
+        soa: _SoA,
+        att: np.ndarray,
+        hv: np.ndarray,
+        key: np.ndarray,
+        ready: np.ndarray,
+        pm: np.ndarray,
+        cycle: int,
+    ) -> List[int]:
+        """Batch-allocate routes for attempting head slots.
+
+        Mutates the SoA route/owner state and marks fresh allocations as
+        ready (a new allocation always has a credit, so it requests
+        immediately, exactly like the object scan).  Returns the sorted
+        port indices that need the Python scan instead: any attempt once
+        faults have fired or under VC monopolisation, filtered or
+        multi-port ejection, and classes with more than two VCs.
+
+        Routers with several attempting heads are handled in rounds —
+        the object scan processes them sequentially (port order, VC
+        rotation order within a port), and an earlier success both
+        claims an output VC the later attempts must see and terminates
+        its own port's scan.  Each round therefore commits only the
+        earliest remaining attempt per router, drops the rest of a
+        successful port, and re-evaluates survivors against the updated
+        claims.
+        """
+        V = soa.V
+        if self.faults_fired or soa.any_monopolize:
+            return sorted(set((att // V).tolist()))
+        N = soa.N
+        P = soa.P
+        nodes = att // (P * V)
+        dst = soa.f_dst[hv]
+        cls = soa.f_cls[hv]
+        src = soa.f_src[hv]
+        miss = src < 0
+        if miss.any():
+            # Routing source = inject_router, which the NI assigns only
+            # after scheduling the head flit — so it cannot be interned
+            # at registration time.  Fill lazily at first attempt;
+            # re-injection after a fault registers a fresh flit id, so
+            # an interned source can never go stale.
+            f_objs = soa.f_objs
+            f_src = soa.f_src
+            for vid in hv[miss].tolist():
+                pkt = f_objs[vid].packet
+                s = pkt.inject_router
+                f_src[vid] = pkt.src if s is None else s
+            src = soa.f_src[hv]
+        eject = dst == nodes
+        rare = soa.cls_rare[cls].astype(bool)
+        rare |= eject & soa.ej_rare[nodes].astype(bool)
+        if rare.any():
+            # A rare attempt sends the whole router to the Python scan:
+            # its claims interleave with any batched attempts there.
+            bad = np.zeros(N, dtype=bool)
+            bad[nodes[rare]] = True
+            py = bad[nodes]
+            py_ports = sorted(set((att[py] // V).tolist()))
+            keep = ~py
+            att = att[keep]
+            hv = hv[keep]
+            nodes = nodes[keep]
+            dst = dst[keep]
+            cls = cls[keep]
+            src = src[keep]
+            eject = eject[keep]
+            if not len(att):
+                return py_ports
+        else:
+            py_ports = []
+        if len(att) <= 4:
+            # A tiny batch is cheaper in the exact-replica Python scan
+            # than through the fixed cost of a vector round.
+            return sorted(set(py_ports) | set((att // V).tolist()))
+        if len(att) > 1:
+            # Object scan order within a router: ports ascending, VC
+            # rotation within a port.  att is slot-sorted (ports already
+            # ascend), so only the in-port VC order needs fixing.
+            order = np.argsort((att // V) * V + key[att], kind="stable")
+            att = att[order]
+            nodes = nodes[order]
+            dst = dst[order]
+            cls = cls[order]
+            src = src[order]
+            eject = eject[order]
+        while True:
+            valid, commit = self._attempt_round(
+                soa, att, nodes, dst, cls, src, eject,
+                key, ready, pm, cycle,
+            )
+            if valid.all():
+                return py_ports
+            # Survivors: attempts after their router's first success —
+            # minus every attempt on a port whose scan just allocated
+            # (the object scan breaks at the success).
+            port_g = att // V
+            done = np.zeros(N * P, dtype=bool)
+            done[port_g[commit]] = True
+            keep = ~valid & ~done[port_g]
+            nk = int(keep.sum())
+            if not nk:
+                return py_ports
+            if nk <= 8:
+                # Short tail: hand the leftover ports to the Python
+                # scan.  It replays each port's whole rotation — already
+                # routed slots just become the port's request, already
+                # failed attempts fail identically (claims are router-
+                # local and this cycle's are committed) — so the replay
+                # is bit-identical, only slower per attempt.
+                tail = set((att[keep] // V).tolist())
+                return sorted(set(py_ports) | tail)
+            att = att[keep]
+            nodes = nodes[keep]
+            dst = dst[keep]
+            cls = cls[keep]
+            src = src[keep]
+            eject = eject[keep]
+
+    def _attempt_round(
+        self,
+        soa: _SoA,
+        att: np.ndarray,
+        nodes: np.ndarray,
+        dst: np.ndarray,
+        cls: np.ndarray,
+        src: np.ndarray,
+        eject: np.ndarray,
+        key: np.ndarray,
+        ready: np.ndarray,
+        pm: np.ndarray,
+        cycle: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate one round of attempts against the round-entry state.
+
+        Within a router the object scan is sequential, but a failed
+        attempt mutates nothing — so every attempt up to and including
+        the router's first success saw exactly the round-entry claim
+        state.  That longest valid prefix per router is committed (the
+        success) or memoised (the failures) in one batch; only attempts
+        after a success need re-evaluation.  Returns ``(valid, commit)``
+        masks over ``att``.
+        """
+        na = len(att)
+        ok = np.zeros(na, dtype=bool)
+        sel_oi = np.zeros(na, dtype=np.int64)
+        sel_cs = np.zeros(na, dtype=np.int64)
+        sel_dest = np.zeros(na, dtype=np.int64)
+        e = np.flatnonzero(eject)
+        if len(e):
+            en = nodes[e]
+            ecs = soa.ej_cs[en]
+            # The object's _allocate_eject does not count vc_allocs.
+            ok[e] = (soa.owned[ecs] == 0) & (soa.credits_all[ecs] > 0)
+            eoi = soa.ej_oi[en]
+            sel_oi[e] = eoi
+            sel_cs[e] = ecs
+            sel_dest[e] = soa.S + eoi
+        if len(e) < na:
+            m = np.flatnonzero(~eject)
+            W = self.grid.width
+            mn = nodes[m]
+            same = (src[m] % W) == (mn % W)
+            N = soa.N
+            tix = np.where(same, N * N, 0) + mn * N + dst[m]
+            c1 = soa.cand1[tix]
+            c2 = soa.cand2[tix]
+            NM = routing.NUM_MESH_PORTS
+            node_out = soa.node_out
+            base = mn * NM
+            oi1 = np.where(c1 >= 0, node_out[base + (c1 & 3)], -1)
+            oi2 = np.where(c2 >= 0, node_out[base + (c2 & 3)], -1)
+            v0 = soa.av0[cls[m]]
+            v1 = soa.av1[cls[m]]
+            # One stacked evaluation for both candidate columns.
+            has, vc, tot = self._eval_candidate(
+                soa,
+                np.concatenate((oi1, oi2)),
+                np.concatenate((v0, v0)),
+                np.concatenate((v1, v1)),
+            )
+            nm = len(oi1)
+            has1, has2 = has[:nm], has[nm:]
+            vc1, vc2 = vc[:nm], vc[nm:]
+            tot1, tot2 = tot[:nm], tot[nm:]
+            # Strictly-greater total wins: the object keeps the first
+            # candidate on ties.
+            use2 = has2 & (~has1 | (tot2 > tot1))
+            mok = has1 | has2
+            soi = np.where(use2, oi2, oi1)
+            svc = np.where(use2, vc2, vc1)
+            ok[m] = mok
+            sel_oi[m] = soi
+            sel_cs[m] = soa.out_base[soi] + svc
+            sel_dest[m] = soa.dest_base[soi] + svc
+        # Longest valid prefix per router: attempts preceded by no
+        # same-router success this round.  excl is non-decreasing, so
+        # spreading the group-start value with a running max recovers
+        # each attempt's count of earlier in-group successes.
+        if na > 1:
+            excl = np.cumsum(ok) - ok
+            newg = np.empty(na, dtype=bool)
+            newg[0] = True
+            newg[1:] = nodes[1:] != nodes[:-1]
+            valid = excl == np.maximum.accumulate(np.where(newg, excl, 0))
+        else:
+            valid = np.ones(1, dtype=bool)
+        commit = valid & ok
+        w = np.flatnonzero(commit)
+        if len(w):
+            V = soa.V
+            ws = att[w]
+            wcs = sel_cs[w]
+            soa.route_cs[ws] = wcs
+            soa.route_oi[ws] = sel_oi[w]
+            soa.route_dest[ws] = sel_dest[w]
+            soa.owned[wcs] = 1
+            soa.owner_code[wcs] = (ws // V) % soa.P * V + ws % V
+            ready[ws] = True
+            # The reach pre-filter guaranteed key[ws] < pm at its port,
+            # and a port allocates at most once per cycle, so the fresh
+            # allocation is the port's new minimum outright.
+            pm[ws // V] = key[ws]
+            # The object counts a VC allocation per successful mesh
+            # grant (never for ejects).
+            self.stats.vc_allocs += int((~eject[w]).sum())
+        failn = valid & ~ok
+        if failn.any():
+            soa.fail_epoch[att[failn]] = cycle
+        return valid, commit
+
+    # ------------------------------------------------------------------
+    # Python replica of the object router's per-port scan (ports that
+    # must attempt a route/VC allocation this cycle)
+    # ------------------------------------------------------------------
+    def _scan_port(
+        self, soa: _SoA, port_idx: int, cycle: int
+    ) -> Optional[Tuple[int, int, int, int]]:
+        V = soa.V
+        node = port_idx // soa.P
+        port_nr = port_idx % soa.P
+        router = self.routers[node]
+        qlen = soa.qlen
+        route_cs = soa.route_cs
+        base = port_idx * V
+        epoch = int(soa.epoch[node])
+        for vc in soa.vc_orders[int(soa.rr_in[port_idx])]:
+            slot = base + vc
+            if not qlen[slot]:
+                continue
+            cs = int(route_cs[slot])
+            if cs < 0:
+                if epoch > soa.fail_epoch[slot]:
+                    self._alloc(soa, router, node, port_nr, vc, slot, cycle)
+                    cs = int(route_cs[slot])
+                if cs < 0:
+                    continue
+            if soa.credits_all[cs] <= 0:
+                continue
+            return (
+                slot, int(soa.route_oi[slot]), cs, int(soa.route_dest[slot])
+            )
+        return None
+
+    def _alloc(
+        self,
+        soa: _SoA,
+        router: Router,
+        node: int,
+        port_nr: int,
+        vc: int,
+        slot: int,
+        cycle: int,
+    ) -> None:
+        vid = int(soa.ring[slot * soa.C + (int(soa.headpos[slot]) & soa.cmask)])
+        flit = soa.f_objs[vid]
+        if not flit.is_head:
+            return  # body at head of an unrouted VC: no attempt, no memo
+        packet = flit.packet
+        owned = soa.owned
+        credits = soa.credits_all
+        if packet.dst == node:
+            ports = (
+                router.eject_filter(packet)
+                if router.eject_filter is not None
+                else router.eject_ports
+            )
+            for eject in ports:
+                oi = soa.out_idx[(node, eject)]
+                cs = int(soa.out_base[oi])
+                if not owned[cs] and credits[cs] > 0:
+                    # Note: the object model's _allocate_eject does not
+                    # count vc_allocs (only mesh allocations do).
+                    soa.owner_code[cs] = port_nr * soa.V + vc
+                    owned[cs] = 1
+                    soa.route_cs[slot] = cs
+                    soa.route_oi[slot] = oi
+                    soa.route_dest[slot] = soa.S + oi
+                    return
+            soa.fail_epoch[slot] = cycle
+            return
+        src = (
+            packet.inject_router
+            if packet.inject_router is not None
+            else packet.src
+        )
+        candidates = routing.route_candidates(
+            self.grid, router.routing_algorithm, node, src, packet.dst
+        )
+        allowed = router.vc_classes[packet.vc_class]
+        borrowable = self._borrowable(soa, router, node, packet.vc_class, vc)
+        exclude = (
+            port_nr
+            if port_nr < routing.NUM_MESH_PORTS and self.faults_fired
+            else -1
+        )
+        best = self._scan_outputs(
+            soa, router, node, candidates, allowed, borrowable, packet,
+            exclude,
+        )
+        if best is None and self.faults_fired:
+            usable = any(
+                p in router.neighbors
+                and p not in router.failed_outputs
+                and p != exclude
+                for p in candidates
+                if p != routing.PORT_EJECT
+            )
+            if not usable:
+                minimal = routing.minimal_ports(self.grid, node, packet.dst)
+                primary = minimal[0]
+                order = list(minimal) + [
+                    routing.turn_right(primary),
+                    routing.turn_left(primary),
+                    routing.opposite(primary),
+                ]
+                tried = set()
+                for p in order:
+                    if p in tried:
+                        continue
+                    tried.add(p)
+                    best = self._scan_outputs(
+                        soa, router, node, (p,), allowed, borrowable,
+                        packet, exclude,
+                    )
+                    if best is not None:
+                        break
+        if best is None:
+            soa.fail_epoch[slot] = cycle
+            return
+        _, out_port, out_vc, oi = best
+        cs = int(soa.out_base[oi]) + out_vc
+        soa.owner_code[cs] = port_nr * soa.V + vc
+        soa.owned[cs] = 1
+        soa.route_cs[slot] = cs
+        soa.route_oi[slot] = oi
+        soa.route_dest[slot] = int(soa.dest_base[oi]) + out_vc
+        self.stats.vc_allocs += 1
+
+    def _scan_outputs(
+        self,
+        soa: _SoA,
+        router: Router,
+        node: int,
+        ports,
+        allowed,
+        borrowable,
+        packet: Packet,
+        exclude: int,
+    ) -> Optional[Tuple[int, int, int, int]]:
+        failed = router.failed_outputs
+        neighbors = router.neighbors
+        owned = soa.owned
+        credits = soa.credits_all
+        best: Optional[Tuple[int, int, int, int]] = None
+        for out_port in ports:
+            if out_port == routing.PORT_EJECT:
+                continue
+            if out_port == exclude:
+                continue
+            if out_port not in neighbors:
+                continue
+            if failed and out_port in failed:
+                continue
+            oi = soa.out_idx[(node, out_port)]
+            b = int(soa.out_base[oi])
+            free = [
+                v for v in allowed
+                if not owned[b + v] and credits[b + v] > 0
+            ]
+            if not free and borrowable:
+                cap = self.vc_capacity
+                if cap >= packet.size:
+                    free = [
+                        v for v in borrowable
+                        if not owned[b + v] and credits[b + v] == cap
+                    ]
+            if not free:
+                continue
+            out_vc = max(free, key=lambda v: credits[b + v])
+            total = sum(int(credits[b + v]) for v in allowed)
+            if best is None or total > best[0]:
+                best = (total, out_port, out_vc, oi)
+        return best
+
+    def _borrowable(
+        self, soa: _SoA, router: Router, node: int, vc_class: int,
+        current_vc: int,
+    ):
+        if not router.monopolize or vc_class not in router.monopoly_classes:
+            return ()
+        own = router.vc_classes[vc_class]
+        if current_vc not in own:
+            return ()
+        qlen = soa.qlen
+        ring = soa.ring
+        headpos = soa.headpos
+        C = soa.C
+        cmask = soa.cmask
+        V = soa.V
+        node_base = node * soa.P * V
+        foreign = []
+        for other in range(len(router.vc_classes)):
+            if other == vc_class:
+                continue
+            for ovc in router.vc_classes[other]:
+                for p in router.input_ports:
+                    slot = node_base + p * V + ovc
+                    if qlen[slot]:
+                        vid = int(
+                            ring[slot * C + (int(headpos[slot]) & cmask)]
+                        )
+                        if soa.f_objs[vid].packet.vc_class == other:
+                            return ()
+                foreign.append(ovc)
+        return tuple(foreign)
+
+    # ------------------------------------------------------------------
+    # Inspection / fault hooks
+    # ------------------------------------------------------------------
+    def sync_for_inspection(self) -> None:
+        if self._soa is not None:
+            self._materialize()
+
+    def soa_invalidate(self) -> None:
+        soa = self._soa
+        if soa is not None:
+            soa.epoch[:] = self.cycle + 1
+
+    def _materialize(self) -> None:
+        """Write SoA state back onto the Router/OutputPort objects.
+
+        Read-only with respect to the SoA: the arrays stay canonical and
+        simulation continues from them; the objects (and the event-dict
+        mirrors ``_arrivals``/``_credits``) become a consistent snapshot
+        for auditors, dump tools and tests.
+        """
+        soa = self._soa
+        V = soa.V
+        P = soa.P
+        C = soa.C
+        cmask = soa.cmask
+        qlen = soa.qlen
+        headpos = soa.headpos
+        ring = soa.ring
+        f_objs = soa.f_objs
+        f_buffered = soa.f_buffered
+        for node, router in enumerate(self.routers):
+            node_base = node * P * V
+            count = 0
+            for p in router.input_ports:
+                port_flits = 0
+                vcs = router.inputs[p]
+                for vc in range(V):
+                    slot = node_base + p * V + vc
+                    ivc = vcs[vc]
+                    queue = ivc.queue
+                    queue.clear()
+                    length = int(qlen[slot])
+                    if length:
+                        h = int(headpos[slot])
+                        for k in range(length):
+                            vid = int(ring[slot * C + ((h + k) & cmask)])
+                            flit = f_objs[vid]
+                            flit.buffered_at = int(f_buffered[vid])
+                            queue.append(flit)
+                        port_flits += length
+                    cs = int(soa.route_cs[slot])
+                    if cs >= 0:
+                        oi = int(soa.route_oi[slot])
+                        ivc.out_port = soa.out_port_nr[oi]
+                        ivc.out_vc = cs - int(soa.out_base[oi])
+                    else:
+                        ivc.out_port = None
+                        ivc.out_vc = None
+                router.port_flits[p] = port_flits
+                count += port_flits
+                router.rr_in[p] = int(soa.rr_in[node * P + p])
+            router.flit_count = count
+            router.peak_flits = int(soa.peak[node])
+        for oi in range(soa.num_out):
+            out = soa.out_obj[oi]
+            b = int(soa.out_base[oi])
+            for v in range(out.num_vcs):
+                out.credits[v] = int(soa.credits_all[b + v])
+                if soa.owned[b + v]:
+                    code = int(soa.owner_code[b + v])
+                    out.owner[v] = (code // V, code % V)
+                else:
+                    out.owner[v] = None
+            out.rr = int(soa.out_rr[oi])
+        arrivals: List[Tuple[int, int, int, Flit]] = []
+        for s, v in zip(soa.p_slots, soa.p_vids):
+            arrivals.append(
+                (s // (P * V), (s // V) % P, s % V, f_objs[v])
+            )
+        for node, eject_port, flit in soa.p_sink:
+            arrivals.append((node, -eject_port - 1, 0, flit))
+        self._arrivals = {self.cycle + 1: arrivals} if arrivals else {}
+        for cycle in sorted(soa.far):
+            self._arrivals.setdefault(cycle, []).extend(
+                (s // (P * V), (s // V) % P, s % V, f_objs[v])
+                for s, v in soa.far[cycle]
+            )
+        credits = [soa.cs_pair[cs] for cs in soa.p_cs]
+        credits.extend(soa.p_obj_credits)
+        self._credits = {self.cycle + 1: credits} if credits else {}
+        if self._active_scheduler:
+            self.active = {r.node for r in self.routers if r.flit_count}
+
+    # ------------------------------------------------------------------
+    # Telemetry (SoA-backed probes; values identical to the object ones)
+    # ------------------------------------------------------------------
+    def register_telemetry(self, registry: "object", prefix: str) -> None:
+        stats = self.stats
+
+        def active_nodes():
+            soa = self._soa
+            if soa is None:
+                return [r.node for r in self.routers if r.flit_count]
+            counts = soa.qlen.reshape(soa.N, -1).sum(axis=1)
+            return np.flatnonzero(counts).tolist()
+
+        def peak_router_flits():
+            soa = self._soa
+            if soa is None:
+                return max((r.peak_flits for r in self.routers), default=0)
+            return int(soa.peak.max())
+
+        registry.register_series(f"{prefix}.in_flight", self.in_flight)
+        registry.register_series(
+            f"{prefix}.flits_injected", lambda: stats.flits_injected
+        )
+        registry.register_series(
+            f"{prefix}.flits_ejected", lambda: stats.flits_ejected
+        )
+        registry.register_series(
+            f"{prefix}.ni_backlog",
+            lambda: sum(ni.backlog() for ni in self.nis),
+        )
+        registry.register_series(
+            f"{prefix}.ni_buffer_flits",
+            lambda: sum(ni.buffer_occupancy() for ni in self.nis),
+        )
+        registry.register_series(
+            f"{prefix}.active_routers", lambda: len(active_nodes())
+        )
+        registry.register_residency(
+            f"{prefix}.router_active", self.grid.size, active_nodes
+        )
+        from .stats import NetworkStats
+
+        for name in NetworkStats.TELEMETRY_COUNTERS:
+            registry.register_final(
+                f"{prefix}.{name}", lambda name=name: getattr(stats, name)
+            )
+        registry.register_final(
+            f"{prefix}.peak_router_flits", peak_router_flits
+        )
+        for ni in self.nis:
+            ni.register_telemetry(registry, prefix)
+
+    # ------------------------------------------------------------------
+    # Quiescence / introspection
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        soa = self._soa
+        if soa is None:
+            return super().in_flight()
+        scheduled = len(soa.p_slots) + len(soa.p_sink)
+        if soa.far:
+            scheduled += sum(len(v) for v in soa.far.values())
+        return soa.buffered_total + scheduled
+
+    def quiescent(self) -> bool:
+        soa = self._soa
+        if soa is None:
+            return super().quiescent()
+        if (
+            soa.p_slots or soa.p_sink or soa.far or soa.p_cs
+            or soa.p_obj_credits or self._delivered_total
+        ):
+            return False
+        if self._active_scheduler:
+            return soa.buffered_total == 0 and not self._active_nis
+        return soa.buffered_total == 0 and all(
+            not ni.has_work() for ni in self.nis
+        )
+
+    def idle(self) -> bool:
+        soa = self._soa
+        if soa is None:
+            return super().idle()
+        if self._active_scheduler:
+            return (
+                soa.buffered_total == 0
+                and not self._active_nis
+                and not soa.p_slots
+                and not soa.p_sink
+                and not soa.far
+            )
+        if self.in_flight():
+            return False
+        return all(ni.idle() for ni in self.nis)

@@ -22,7 +22,7 @@ from ..noc.interface import (
     MultiPortInterface,
     NetworkInterface,
 )
-from ..noc.network import Network, resolve_scheduler
+from ..noc.network import Network, network_class, resolve_engine, resolve_scheduler
 from ..noc.topology import CmeshEnvelope, CmeshMap, build_cmesh
 from ..noc.types import Packet, PacketType, packet_flits
 
@@ -72,12 +72,18 @@ class Fabric:
         equinox_design: Optional[EquiNoxDesign] = None,
         max_packet_flits: Optional[int] = None,
         scheduler: Optional[str] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.grid = grid
         # Tick discipline shared by every network of this fabric
         # ("active" skips workless components, "dense" is the oracle).
         self.scheduler = resolve_scheduler(scheduler)
+        # Tick engine shared by every network of this fabric ("object"
+        # is the golden reference; "vector" the bit-identical SoA
+        # engine).
+        self.engine = resolve_engine(engine)
+        NetCls = network_class(self.engine)
         self.placement = tuple(placement)
         self.equinox_design = equinox_design
         self.cb_set = frozenset(placement)
@@ -93,7 +99,7 @@ class Fabric:
 
         if config.network_type == "single":
             vc_classes = [(0,), (1,)]
-            net = Network(
+            net = NetCls(
                 "single",
                 grid,
                 config.flit_bytes,
@@ -109,7 +115,7 @@ class Fabric:
             self.reply_net = net
             self._add_network(net, 1.0, "both")
         else:
-            self.request_net = Network(
+            self.request_net = NetCls(
                 "request",
                 grid,
                 config.flit_bytes,
@@ -121,7 +127,7 @@ class Fabric:
             )
             self._add_network(self.request_net, 1.0, "request")
             if not config.da2mesh:
-                self.reply_net = Network(
+                self.reply_net = NetCls(
                     "reply",
                     grid,
                     config.flit_bytes,
@@ -147,7 +153,7 @@ class Fabric:
             )
             narrow_eject = 2 * packet_flits(PacketType.READ_REPLY, narrow_bytes)
             for i in range(config.da2mesh_subnets):
-                subnet = Network(
+                subnet = NetCls(
                     f"reply-sub{i}",
                     grid,
                     narrow_bytes,
@@ -179,6 +185,7 @@ class Fabric:
                 routing_algorithm=config.routing,
                 vc_classes=[(0,), (1,)],
                 scheduler=self.scheduler,
+                engine=self.engine,
             )
             self._add_network(
                 self.cmesh_net, 1.0, "cmesh"

@@ -48,6 +48,7 @@ HERMETIC_ENV = (
     "REPRO_WATCHDOG_CYCLES",
     "REPRO_TELEMETRY",
     "REPRO_SCHEDULER",
+    "REPRO_ENGINE",
     "REPRO_CELL_TIMEOUT",
     "REPRO_RETRIES",
 )

@@ -173,6 +173,7 @@ def _cases(
         quota=draw(st.integers(2, 10)),
         seed=(draw(st.integers(0, 2**16 - 1)) + base_seed) % 2**20,
         scheduler=draw(st.sampled_from(["active", "dense"])),
+        engine=draw(st.sampled_from(["object", "vector"])),
         telemetry=draw(st.sampled_from([0, 0, 1, 3])),
         **kwargs,
     )

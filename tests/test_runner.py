@@ -7,6 +7,7 @@ whether the design cache is cold or warmed from disk.
 """
 
 import json
+import os
 
 import pytest
 
@@ -168,6 +169,62 @@ class TestDiskCache:
         design = cache.equinox_design(8, 8, iterations_per_level=10, seed=0)
         assert design is not None
         assert json.loads(entry.read_text())["version"] >= 1  # rewritten
+
+    def test_disk_write_fsyncs_before_publishing(self, tmp_path,
+                                                 monkeypatch):
+        # Durability regression: the temp file's bytes must be forced
+        # to disk (fsync) before os.replace publishes them under the
+        # entry name — otherwise a power loss right after the rename
+        # can leave a torn entry under the real key.
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache.os, "fsync", spy_fsync)
+        monkeypatch.setattr(cache.os, "replace", spy_replace)
+        target = tmp_path / "design-deadbeef.json"
+        cache._disk_write(target, {"k": 1})
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+        assert json.loads(target.read_text()) == {"k": 1}
+
+    def test_torn_write_never_visible_under_entry_name(self, tmp_path,
+                                                       monkeypatch):
+        # A writer that dies before the rename must leave the entry
+        # name absent (a clean miss) and clean up its temp file — a
+        # reader must never see a half-written JSON under the key.
+        target = tmp_path / "design-cafebabe.json"
+
+        def crash_replace(src, dst):
+            raise OSError("simulated crash before publish")
+
+        monkeypatch.setattr(cache.os, "replace", crash_replace)
+        cache._disk_write(target, {"k": 2})
+        assert not target.exists()
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache._disk_read(target) is None  # a miss, not an error
+
+    def test_orphaned_tmp_files_are_never_read(self, tmp_path,
+                                               monkeypatch):
+        # A hard crash (kill -9) can orphan a mkstemp file; entries are
+        # only ever read via their .json path, so the orphan must not
+        # poison the store or shadow the real entry once written.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        (tmp_path / "placement-0.jsonorphanXYZ.tmp").write_text("{torn")
+        before = cache.corrupt_evictions()
+        first = cache.placement("diamond", 8)
+        cache.clear()
+        second = cache.placement("diamond", 8)
+        assert second == first
+        assert cache.corrupt_evictions() == before  # orphan never parsed
 
     def test_key_includes_parameters(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

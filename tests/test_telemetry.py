@@ -259,9 +259,11 @@ class TestAggregation:
         assert len(summary["cells"]) == 1
 
 
-def _bench_payload(rate, checksum="aaa"):
+def _bench_payload(rate, checksum="aaa", schema=None):
+    from repro.harness.bench import BENCH_SCHEMA
+
     return {
-        "schema": 1,
+        "schema": BENCH_SCHEMA if schema is None else schema,
         "scenarios": {
             "synthetic": {
                 "cycles": 4000,
@@ -314,6 +316,79 @@ class TestBenchGate:
         current = {"schema": 1, "scenarios": {}}
         violations = compare_bench(current, base, 0.25)
         assert violations == ["synthetic: missing from current run"]
+
+    def test_empty_baseline_never_passes_vacuously(self):
+        # An empty or malformed baseline compares zero scenarios, which
+        # used to return no violations at all — the gate passed while
+        # gating nothing.
+        from repro.harness.bench import BENCH_SCHEMA
+
+        current = _bench_payload(1000.0)
+        for bad in (
+            {"schema": BENCH_SCHEMA},                         # no key
+            dict(_bench_payload(1000.0), scenarios={}),       # empty
+            dict(_bench_payload(1000.0), scenarios="oops"),   # wrong type
+        ):
+            violations = compare_bench(current, bad, 0.25)
+            assert any("vacuously" in v for v in violations), bad
+
+    def test_fails_on_baseline_schema_mismatch(self):
+        current = _bench_payload(1000.0)
+        stale = _bench_payload(1000.0, schema=1)
+        violations = compare_bench(current, stale, 0.25)
+        assert any("schema" in v for v in violations)
+        # the scenario rows are still compared (no silent skip)
+        assert not any("missing" in v for v in violations)
+
+    def test_uncalibrated_comparison_is_explicit(self):
+        # calibration_s missing (or zero) on either side: the gate
+        # still compares, but the violation text says the comparison
+        # ran uncalibrated and names the record at fault.
+        base_cal = dict(_bench_payload(1000.0), calibration_s=1.0)
+        cur_nocal = _bench_payload(600.0)
+        violations = compare_bench(cur_nocal, base_cal, 0.25)
+        assert len(violations) == 1
+        assert "UNCALIBRATED" in violations[0]
+        assert "current" in violations[0]
+
+        base_nocal = dict(_bench_payload(1000.0), calibration_s=0.0)
+        cur_cal = dict(_bench_payload(600.0), calibration_s=1.0)
+        violations = compare_bench(cur_cal, base_nocal, 0.25)
+        assert len(violations) == 1
+        assert "UNCALIBRATED" in violations[0]
+        assert "baseline" in violations[0]
+
+    def test_engine_checksum_divergence_fails_gate(self):
+        from repro.harness.bench import engine_violations
+
+        rows = {
+            "synthetic": {"checksum": "aaa", "cycles_per_s": 100.0},
+            "synthetic_vector": {"checksum": "aaa",
+                                 "cycles_per_s": 400.0},
+        }
+        assert engine_violations(rows) == []
+        rows["synthetic_vector"]["checksum"] = "bbb"
+        violations = engine_violations(rows)
+        assert len(violations) == 1
+        assert "engine-parity" in violations[0]
+        # compare_bench surfaces the same divergence
+        current = dict(_bench_payload(1000.0), scenarios=rows)
+        base = _bench_payload(1000.0, checksum="aaa")
+        assert any("engine-parity" in v
+                   for v in compare_bench(current, base, 0.25))
+
+    def test_engine_speedup_floor(self):
+        from repro.harness.bench import engine_violations
+
+        rows = {
+            "synthetic": {"checksum": "aaa", "cycles_per_s": 100.0},
+            "synthetic_vector": {"checksum": "aaa",
+                                 "cycles_per_s": 250.0},
+        }
+        violations = engine_violations(rows, min_speedup=3.0)
+        assert len(violations) == 1
+        assert "below the 3.0x floor" in violations[0]
+        assert engine_violations(rows, min_speedup=2.0) == []
 
     def test_checksum_divergence_helper(self):
         rows = {"dense": {"checksum": "a"}, "active": {"checksum": "a"}}

@@ -1,0 +1,160 @@
+"""Object vs vector tick-engine parity: the golden-model contract.
+
+The struct-of-arrays engine (:mod:`repro.noc.vector`) is a performance
+path, never a semantic fork: for any configuration — every scheme,
+either scheduler, telemetry on or off, fault plans that actually fire —
+its ``stats_fingerprint`` must be bit-identical to the per-object
+golden model.  These tests pin that contract directly for all seven
+compared schemes and the synthetic drivers; the fuzzed side lives in
+the verify campaign's dedicated engine-parity property
+(:func:`repro.verify.check_engine_parity_case`).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.grid import Grid
+from repro.noc.faults import FaultSpec
+from repro.noc.network import Network, network_class, resolve_engine
+from repro.noc.vector import VectorNetwork
+from repro.schemes import SCHEME_ORDER
+from repro.verify import (
+    FAST,
+    KNOWN_PROPERTIES,
+    PROPERTY_ENGINE_PARITY,
+    VerifyCase,
+    engine_counterpart,
+    run_case,
+)
+from repro.verify.strategies import cases
+from repro.workloads.synthetic import run_uniform
+
+QUICK = dict(benchmark="backprop", width=4, num_cbs=3, quota=3, seed=7)
+
+#: A plan that demonstrably fires inside every QUICK-sized run: a
+#: transient mesh-link fault plus an NI-buffer fault, both healing well
+#: before the run ends so liveness holds.
+FIRING_PLAN = (
+    FaultSpec(kind="mesh_link", node=0, peer=1, at_cycle=40,
+              heal_cycle=140),
+    FaultSpec(kind="ni_buffer", node=2, buffer=0, net="any", at_cycle=60,
+              heal_cycle=160),
+)
+
+
+def _assert_parity(case: VerifyCase):
+    """Run ``case`` under both engines; return the object-model run."""
+    base = run_case(case, validate_every=0)
+    twin = run_case(engine_counterpart(case), validate_every=0)
+    assert twin.stats_fingerprint == base.stats_fingerprint, case.label()
+    return base
+
+
+class TestEngineSelection:
+    def test_resolve_engine_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert resolve_engine() == "object"
+        monkeypatch.setenv("REPRO_ENGINE", "vector")
+        assert resolve_engine() == "vector"
+        assert resolve_engine("object") == "object"  # explicit arg wins
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp")
+
+    def test_network_class_dispatch(self):
+        assert network_class("object") is Network
+        assert network_class(None) is Network
+        assert network_class("vector") is VectorNetwork
+        assert issubclass(VectorNetwork, Network)
+        assert VectorNetwork.engine == "vector"
+        assert Network.engine == "object"
+
+    def test_engine_threads_from_cli_to_fabric(self):
+        from repro.cli import build_parser
+        from repro.harness.experiment import build_fabric
+
+        args = build_parser().parse_args(
+            ["run", "--scheme", "SingleBase", "--engine", "vector"]
+        )
+        assert args.engine == "vector"
+        case = VerifyCase(scheme="SingleBase", engine="vector", **QUICK)
+        cfg = case.experiment_config()
+        assert cfg.engine == "vector"
+        fabric = build_fabric("SingleBase", cfg)
+        assert fabric.engine == "vector"
+        for net, _ratio, _role in fabric.networks:
+            assert isinstance(net, VectorNetwork)
+
+
+class TestSchemeParity:
+    @pytest.mark.parametrize("scheme", SCHEME_ORDER)
+    def test_firing_faults_bit_identical(self, scheme):
+        # The strongest form of the contract: a fault plan that
+        # actually fires mid-run (not merely armed) must perturb both
+        # engines identically.
+        case = VerifyCase(scheme=scheme, faults=FIRING_PLAN, **QUICK)
+        run = _assert_parity(case)
+        assert run.injector is not None and run.injector.applied > 0
+
+    def test_dense_scheduler_parity(self):
+        case = VerifyCase(
+            scheme="EquiNox", scheduler="dense", faults=FIRING_PLAN,
+            **QUICK,
+        )
+        _assert_parity(case)
+
+    def test_telemetry_probes_read_vector_state(self):
+        # Per-cycle telemetry sampling reads live occupancy/credit
+        # state; on the vector path the probes must see the SoA-backed
+        # truth without perturbing the fingerprint.
+        case = VerifyCase(scheme="EquiNox", telemetry=1, **QUICK)
+        _assert_parity(case)
+
+    def test_audits_enforced_on_vector_path(self):
+        # validate_every=1 runs the full audit set every base cycle
+        # against materialised vector state: conservation, credit and
+        # ownership invariants stay enforced, not bypassed for speed.
+        case = VerifyCase(
+            scheme="EquiNox", engine="vector", faults=FIRING_PLAN, **QUICK
+        )
+        run = run_case(case, validate_every=1)
+        assert run.transactions_completed == run.transactions_total
+
+
+class TestSyntheticParity:
+    @pytest.mark.parametrize("scheduler", ["active", "dense"])
+    def test_uniform_traffic_bit_identical(self, scheduler):
+        kwargs = dict(
+            injection_rate=0.1, cycles=300, seed=3, scheduler=scheduler
+        )
+        obj = run_uniform(Grid(8), **kwargs)
+        vec = run_uniform(Grid(8), engine="vector", **kwargs)
+        assert isinstance(vec.network, VectorNetwork)
+        assert not isinstance(obj.network, VectorNetwork)
+        assert (vec.sent, vec.received, vec.cycles) == (
+            obj.sent, obj.received, obj.cycles
+        )
+        assert obj.sent and obj.received  # actually moved traffic
+        assert vec.network.stats.fingerprint() == (
+            obj.network.stats.fingerprint()
+        )
+
+
+class TestVerifyIntegration:
+    def test_engine_parity_is_a_campaign_property(self):
+        assert PROPERTY_ENGINE_PARITY in KNOWN_PROPERTIES
+        assert FAST.engine_examples > 0
+
+    def test_fast_profile_space_draws_both_engines(self):
+        seen = set()
+
+        @settings(
+            deadline=None, max_examples=40, derandomize=True,
+            database=None,
+            suppress_health_check=[HealthCheck.too_slow],
+        )
+        @given(case=cases())
+        def sample(case):
+            seen.add(case.engine)
+
+        sample()
+        assert seen == {"object", "vector"}

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Distributed-sweep smoke test: crash a worker, demand bit-identical bytes.
+
+The end-to-end acceptance check for the leased work-queue service
+(``repro sweepd``), runnable locally and in CI:
+
+1. run the sweep grid serially in-process — the oracle fingerprints;
+2. submit the same grid to a SQLite bus;
+3. start two independent CLI worker processes, one armed with
+   ``--chaos-kill-after 1`` so it SIGKILLs itself right after taking
+   its first lease (mid-cell, from the bus's point of view);
+4. let the surviving worker expire the dead worker's lease, pick the
+   cell back up, and drain the queue;
+5. compare every completed task's ``stats_fingerprint`` against the
+   serial oracle and fail loudly on any divergence, dead letter, or
+   unfinished cell.
+
+Exit status 0 means the crash was invisible in the results — the
+determinism contract held across processes, a kill, and a lease
+recovery.
+
+Run:  python examples/distributed_smoke.py
+      python examples/distributed_smoke.py --keep   (keep the bus file)
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import ExperimentConfig
+from repro.harness import service
+from repro.harness.bus import BusPolicy, SqliteBus
+from repro.harness.runner import expand_grid, run_sweep
+from repro.harness.service import task_id_for
+
+SCHEMES = ["SingleBase", "EquiNox"]
+BENCHMARKS = ["hotspot", "gaussian"]
+CONFIG = ExperimentConfig(quota=16, mcts_iterations=20)
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True, text=True,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the bus/work dir for inspection")
+    args = parser.parse_args()
+
+    cells = expand_grid(SCHEMES, BENCHMARKS, CONFIG)
+    print(f"[1/5] serial oracle: {len(cells)} cells ...")
+    serial = run_sweep(cells, progress=False)
+    if not all(o.ok for o in serial.outcomes):
+        print("FAIL: serial oracle sweep has failures", file=sys.stderr)
+        return 1
+    oracle = {
+        task_id_for(i, cell): outcome.result.stats_fingerprint
+        for i, (cell, outcome) in enumerate(zip(cells, serial.outcomes))
+    }
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-distributed-smoke-"))
+    bus_path = workdir / "bus.sqlite"
+    try:
+        print(f"[2/5] submitting to {bus_path} ...")
+        bus = SqliteBus(bus_path, policy=BusPolicy(retries=0,
+                                                   backoff_s=0.0))
+        service.submit(bus, cells)
+
+        print("[3/5] starting 2 workers (one SIGKILLs itself "
+              "after its first lease) ...")
+        common = ["sweepd", "worker", "--bus", str(bus_path),
+                  "--lease", "2", "--heartbeat", "0.5"]
+        chaos = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *common,
+             "--name", "chaos", "--chaos-kill-after", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        chaos.wait(timeout=120)
+        if chaos.returncode >= 0:
+            print(f"FAIL: chaos worker exited {chaos.returncode}, "
+                  "expected a SIGKILL death", file=sys.stderr)
+            return 1
+        print(f"      chaos worker died as planned "
+              f"(exit {chaos.returncode})")
+
+        print("[4/5] clean worker drains the queue "
+              "(recovering the expired lease) ...")
+        drain = run_cli(*common, "--name", "clean")
+        sys.stdout.write(drain.stdout)
+        if drain.returncode != 0:
+            print(f"FAIL: drain worker exited {drain.returncode}\n"
+                  f"{drain.stderr}", file=sys.stderr)
+            return 1
+
+        print("[5/5] checking status and fingerprints ...")
+        status = run_cli("sweepd", "status", "--bus", str(bus_path),
+                         "--json")
+        snapshot = json.loads(status.stdout)
+        if not snapshot["complete"] or snapshot["dead_letters"]:
+            print(f"FAIL: sweep did not converge cleanly: {snapshot}",
+                  file=sys.stderr)
+            return 1
+        if snapshot["counts"]["done"] != len(cells):
+            print(f"FAIL: {snapshot['counts']} != {len(cells)} done",
+                  file=sys.stderr)
+            return 1
+
+        fleet = service.fingerprints(SqliteBus(bus_path))
+        if fleet != oracle:
+            diverged = sorted(
+                task for task in oracle
+                if fleet.get(task) != oracle[task]
+            )
+            print("FAIL: fingerprint divergence vs the serial oracle "
+                  f"in {diverged}", file=sys.stderr)
+            return 1
+        print(f"OK: {len(cells)} cells bit-identical to serial across "
+              "a worker SIGKILL and lease recovery")
+        return 0
+    finally:
+        if args.keep:
+            print(f"kept {workdir}")
+        else:
+            for entry in workdir.glob("*"):
+                entry.unlink()
+            workdir.rmdir()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

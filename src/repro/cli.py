@@ -164,6 +164,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         print("error: --resume requires --journal", file=sys.stderr)
         return 2
+    store = None
+    if args.store:
+        from .harness.store import resolve_store
+
+        store = resolve_store(args.store)
     schemes = args.schemes or SCHEME_ORDER
     benchmarks = args.benchmarks or ["gaussian", "hotspot", "kmeans"]
     results = run_suite(schemes, benchmarks, _experiment_config(args),
@@ -171,7 +176,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         cell_timeout=args.cell_timeout,
                         retries=args.retries,
                         journal=args.journal,
-                        resume=args.resume)
+                        resume=args.resume,
+                        store=store)
     for metric, label in (("cycles", "Execution time"),
                           ("energy_nj", "Energy"), ("edp", "EDP")):
         rows = []
@@ -290,6 +296,133 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_sweepd_submit(args: argparse.Namespace) -> int:
+    from .harness.bus import BusPolicy
+    from .harness.bus import SqliteBus
+    from .harness.runner import expand_grid
+    from .harness.service import submit
+
+    schemes = args.schemes or SCHEME_ORDER
+    benchmarks = args.benchmarks or ["gaussian", "hotspot", "kmeans"]
+    cells = expand_grid(schemes, benchmarks, _experiment_config(args),
+                        reseed_cells=args.reseed_cells)
+    policy = BusPolicy(
+        retries=max(0, args.retries or 0),
+        backoff_s=args.backoff,
+        redelivery_limit=args.redelivery_limit,
+    )
+    bus = SqliteBus(args.bus, policy=policy)
+    task_ids = submit(bus, cells)
+    print(f"submitted {len(task_ids)} cells to {args.bus} "
+          f"({len(schemes)} schemes x {len(benchmarks)} benchmarks, "
+          f"retries={policy.retries})")
+    return 0
+
+
+def _cmd_sweepd_worker(args: argparse.Namespace) -> int:
+    from .harness.service import (
+        WorkerOptions,
+        open_submitted_bus,
+        worker_loop,
+    )
+    from .harness.store import resolve_store
+
+    bus = open_submitted_bus(args.bus)
+    store = resolve_store(args.store)
+    options = WorkerOptions(
+        lease_s=args.lease,
+        heartbeat_s=args.heartbeat,
+        cell_timeout=args.cell_timeout or 0.0,
+        drain=not args.oneshot,
+        max_cells=args.max_cells,
+        chaos_kill_after=args.chaos_kill_after,
+    )
+    stats = worker_loop(
+        bus, store=store, worker_id=args.name, options=options,
+        log=lambda line: print(line, flush=True),
+    )
+    print(f"worker done: {stats.executed} executed, {stats.acked} acked "
+          f"({stats.store_hits} store hits), {stats.failed} failed "
+          f"({stats.dead} dead-lettered), {stats.stale} stale")
+    return 0
+
+
+def _cmd_sweepd_status(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .harness.service import (
+        dead_letter_dump,
+        open_submitted_bus,
+        status,
+    )
+
+    bus = open_submitted_bus(args.bus)
+    snapshot = status(bus)
+    if args.json:
+        print(json_mod.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        counts = snapshot["counts"]
+        state = "complete" if snapshot["complete"] else "in progress"
+        print(f"{args.bus}: {snapshot['cells']} cells, {state} "
+              f"(pending {counts['pending']}, leased {counts['leased']}, "
+              f"done {counts['done']}, dead {counts['dead']})")
+        for letter in snapshot["dead_letters"]:
+            print(f"  dead: {letter['task_id']} "
+                  f"({letter['reason']}, {letter['failures']} failures, "
+                  f"{letter['deliveries']} deliveries)")
+    if args.dumps:
+        for record in bus.dead_letters():
+            print(dead_letter_dump(record))
+    return 0
+
+
+def _cmd_sweepd_requeue(args: argparse.Namespace) -> int:
+    from .harness.service import open_submitted_bus, requeue_dead
+
+    bus = open_submitted_bus(args.bus)
+    moved = requeue_dead(bus, args.task or None)
+    print(f"requeued {moved} dead-lettered cell(s) with a fresh "
+          "retry budget")
+    return 0
+
+
+def _cmd_sweepd_query(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from .harness.store import record_result, resolve_store
+
+    store = resolve_store(args.store)
+    if store is None:
+        print("error: result store disabled (set --store or "
+              "REPRO_STORE_DIR)", file=sys.stderr)
+        return 2
+    records = store.query(
+        scheme=args.scheme, benchmark=args.benchmark, width=args.width,
+    )
+    if args.json:
+        print(json_mod.dumps(records, indent=2, sort_keys=True))
+        return 0
+    if not records:
+        print("no stored results match")
+        return 1
+    rows = []
+    for record in records:
+        result = record_result(record)
+        if result is None:
+            continue
+        rows.append((
+            record["scheme"], record["benchmark"],
+            f"{record['width']}x{record['width']}",
+            float(result.cycles), result.ipc,
+            result.stats_fingerprint[:12],
+        ))
+    print(format_table(
+        ("Scheme", "Benchmark", "Mesh", "Cycles", "IPC", "Fingerprint"),
+        rows,
+    ))
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("schemes:")
     for name in SCHEME_ORDER:
@@ -349,8 +482,122 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--resume", action="store_true",
                          help="restore successful cells from --journal "
                               "instead of recomputing them")
+    p_sweep.add_argument("--store", metavar="DIR",
+                         help="content-addressed result store: hits "
+                              "skip execution, fresh results are "
+                              "recorded (default: off)")
     _add_validation(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_sweepd = sub.add_parser(
+        "sweepd",
+        help="distributed sweep service over a shared SQLite work queue",
+    )
+    sd = p_sweepd.add_subparsers(dest="sweepd_command", required=True)
+
+    d_submit = sd.add_parser(
+        "submit", help="enqueue a scheme x benchmark grid onto a bus"
+    )
+    _add_common(d_submit)
+    d_submit.add_argument("--bus", required=True, metavar="PATH",
+                          help="SQLite bus file (created if absent)")
+    d_submit.add_argument("--schemes", nargs="*", choices=SCHEME_ORDER)
+    d_submit.add_argument("--benchmarks", nargs="*")
+    d_submit.add_argument("--quota", type=int, default=60)
+    d_submit.add_argument("--iterations", type=int, default=100)
+    d_submit.add_argument("--reseed-cells", action="store_true",
+                          help="derive a per-cell seed instead of "
+                               "sharing the base seed")
+    d_submit.add_argument("--retries", type=int, default=0, metavar="N",
+                          help="cell failures tolerated before "
+                               "dead-lettering (deterministic reseed "
+                               "per retry; default 0)")
+    d_submit.add_argument("--backoff", type=float, default=0.05,
+                          metavar="SECONDS",
+                          help="redelivery backoff base after a "
+                               "failure (default 0.05)")
+    d_submit.add_argument("--redelivery-limit", type=int, default=5,
+                          metavar="N",
+                          help="extra crash deliveries tolerated "
+                               "beyond the retry budget before a cell "
+                               "is presumed poisonous (default 5)")
+    _add_validation(d_submit)
+    d_submit.set_defaults(func=_cmd_sweepd_submit)
+
+    d_worker = sd.add_parser(
+        "worker", help="lease and execute cells until the bus drains"
+    )
+    d_worker.add_argument("--bus", required=True, metavar="PATH")
+    d_worker.add_argument("--store", metavar="DIR",
+                          help="content-addressed result store "
+                               "(default: REPRO_STORE_DIR or the user "
+                               "cache dir; 'off' disables)")
+    d_worker.add_argument("--name", metavar="ID",
+                          help="worker id shown in logs and lease "
+                               "records (default: worker-<pid>)")
+    d_worker.add_argument("--lease", type=float, default=60.0,
+                          metavar="SECONDS",
+                          help="lease duration; a worker silent this "
+                               "long is presumed dead (default 60)")
+    d_worker.add_argument("--heartbeat", type=float, default=5.0,
+                          metavar="SECONDS",
+                          help="lease renewal period while executing "
+                               "(default 5)")
+    d_worker.add_argument("--cell-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock limit per cell attempt "
+                               "(default: REPRO_CELL_TIMEOUT or "
+                               "unbounded)")
+    d_worker.add_argument("--max-cells", type=int, default=0,
+                          metavar="N",
+                          help="stop after N executed cells "
+                               "(default: unlimited)")
+    d_worker.add_argument("--oneshot", action="store_true",
+                          help="exit when no lease is immediately "
+                               "available instead of polling until "
+                               "the sweep completes")
+    # Test-only crash injection (see docs/DISTRIBUTED.md): SIGKILL
+    # self right after taking the N-th lease.
+    d_worker.add_argument("--chaos-kill-after", type=int, default=0,
+                          help=argparse.SUPPRESS)
+    d_worker.set_defaults(func=_cmd_sweepd_worker)
+
+    d_status = sd.add_parser(
+        "status", help="queue counts and dead letters for one bus"
+    )
+    d_status.add_argument("--bus", required=True, metavar="PATH")
+    d_status.add_argument("--json", action="store_true",
+                          help="machine-readable snapshot")
+    d_status.add_argument("--dumps", action="store_true",
+                          help="also print dead-letter tracebacks and "
+                               "stall dumps")
+    d_status.set_defaults(func=_cmd_sweepd_status)
+
+    d_requeue = sd.add_parser(
+        "requeue",
+        help="return dead-lettered cells to the queue for replay",
+    )
+    d_requeue.add_argument("--bus", required=True, metavar="PATH")
+    d_requeue.add_argument("--task", nargs="*", metavar="ID",
+                           help="specific task ids (default: all dead "
+                                "letters)")
+    d_requeue.set_defaults(func=_cmd_sweepd_requeue)
+
+    d_query = sd.add_parser(
+        "query",
+        help="answer design-space queries from the result store "
+             "in O(lookup)",
+    )
+    d_query.add_argument("--store", metavar="DIR",
+                         help="store location (default: REPRO_STORE_DIR "
+                              "or the user cache dir)")
+    d_query.add_argument("--scheme", choices=SCHEME_ORDER)
+    d_query.add_argument("--benchmark")
+    d_query.add_argument("--width", type=int,
+                         help="mesh dimension filter (e.g. 16 for "
+                              "16x16)")
+    d_query.add_argument("--json", action="store_true")
+    d_query.set_defaults(func=_cmd_sweepd_query)
 
     p_bench = sub.add_parser(
         "bench", help="run the perf scenarios; gate against a baseline"

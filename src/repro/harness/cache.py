@@ -112,6 +112,20 @@ def _disk_read(path: Optional[Path]) -> Optional[Dict]:
         return None
 
 
+def _fsync_dir(path: Path) -> None:
+    """Force a directory's entry table to disk (post-rename durability)."""
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return  # platforms/filesystems without directory fds
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass  # e.g. fsync unsupported on this mount; rename still atomic
+    finally:
+        os.close(fd)
+
+
 def _disk_write(path: Optional[Path], data: Dict) -> None:
     """Atomically persist ``data`` (concurrent workers may race here).
 
@@ -122,8 +136,11 @@ def _disk_write(path: Optional[Path], data: Dict) -> None:
     opens (entry paths always end in ``.json``).  The temp file is
     flushed and fsynced *before* the rename: without that, a power loss
     shortly after ``os.replace`` could leave the final name pointing at
-    not-yet-durable bytes — a torn entry under the real key, the one
-    case the rename alone does not cover.
+    not-yet-durable bytes — a torn entry under the real key.  And the
+    parent directory is fsynced *after* the rename: the rename itself
+    lives in the directory's entry table, so without the directory
+    fsync a power loss can silently undo the rename and the entry
+    vanishes even though its bytes were durable.
     """
     if path is None:
         return
@@ -138,6 +155,8 @@ def _disk_write(path: Optional[Path], data: Dict) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        tmp = None
+        _fsync_dir(path.parent)
     except OSError:
         # A read-only store degrades to tier 1, never fails a run; but
         # don't leave the half-written temp file behind.

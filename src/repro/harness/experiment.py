@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Optional, Tuple
 
 from ..core.grid import Grid
@@ -94,6 +94,33 @@ def config_digest(config: ExperimentConfig) -> str:
     """
     payload = json.dumps(asdict(config), sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def config_to_dict(config: ExperimentConfig) -> Dict[str, object]:
+    """Plain-JSON form of a config (bus payloads, store records).
+
+    Round-trips exactly through :func:`config_from_dict`: the rebuilt
+    config has the same :func:`config_digest`, so a cell shipped over
+    the work queue keys the same journal/store entries as a local one.
+    """
+    data = asdict(config)
+    data["faults"] = [spec.to_dict() for spec in config.faults]
+    return data
+
+
+def config_from_dict(data: Dict[str, object]) -> ExperimentConfig:
+    """Inverse of :func:`config_to_dict` (strict: unknown keys raise)."""
+    if not isinstance(data, dict):
+        raise ValueError(f"config must be an object, got {data!r}")
+    known = {f.name for f in fields(ExperimentConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown config fields {sorted(unknown)}")
+    payload = dict(data)
+    payload["faults"] = tuple(
+        FaultSpec.from_dict(spec) for spec in payload.get("faults", ())
+    )
+    return ExperimentConfig(**payload)
 
 
 def build_fabric(
@@ -281,6 +308,7 @@ def run_suite(
     retries: Optional[int] = None,
     journal: Optional[object] = None,
     resume: bool = False,
+    store: Optional[object] = None,
 ) -> Dict[Tuple[str, str], ExperimentResult]:
     """Run a scheme x benchmark grid; ``jobs > 1`` fans out across cores.
 
@@ -300,6 +328,7 @@ def run_suite(
         retries=retries,
         journal=journal,
         resume=resume,
+        store=store,
     )
     errors = report.errors()
     if errors:

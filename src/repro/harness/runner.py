@@ -7,10 +7,14 @@ deterministic simulation, which makes the grid embarrassingly parallel:
   list of :class:`SweepCell` jobs, each carrying its own fully-resolved
   :class:`~repro.harness.experiment.ExperimentConfig` (including its
   seed), so a cell's outcome never depends on worker scheduling;
-* :func:`run_sweep` executes the cells — serially for ``jobs<=1``,
-  otherwise on a ``ProcessPoolExecutor`` — recording per-cell timing
-  and keeping the sweep alive when a cell fails (the error text is
-  captured in its :class:`CellOutcome` instead of aborting the batch);
+* :func:`run_sweep` executes the cells as a thin client of the
+  work-queue bus (:mod:`~repro.harness.bus`): serially the worker
+  loop runs inline over an in-memory bus, for ``jobs>1`` independent
+  worker processes lease cells from a private SQLite bus — recording
+  per-cell timing and keeping the sweep alive when a cell fails (the
+  error text is captured in its :class:`CellOutcome`, and cells that
+  fail beyond the retry budget land in the bus's dead-letter queue
+  instead of aborting the batch);
 * :func:`warm_design_cache` precomputes each distinct MCTS/N-Queen
   artefact once in the parent before forking, so workers load it from
   the disk tier of :mod:`~repro.harness.cache` instead of redoing the
@@ -26,21 +30,26 @@ killed run resumes without recomputing finished work.
 Determinism contract: for a fixed ``(seed, config)``, serial and
 parallel execution (and cold vs warm disk cache) produce bit-identical
 results — the determinism tests compare ``stats_fingerprint`` digests
-across all four combinations.  A resumed sweep restores journalled
-results bit-identically (JSON floats round-trip exactly).
+across all four combinations.  The bus extends the same contract to
+any worker fleet size and any kill schedule: a crashed worker's lease
+expires and the cell re-runs under the *same* seed (crashes never
+consume the retry budget), so the re-delivered result is byte-equal
+to what the dead worker would have produced.  A resumed sweep
+restores journalled results bit-identically (JSON floats round-trip
+exactly).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 import signal
+import tempfile
 import threading
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -535,9 +544,18 @@ def _env_float(name: str, default: float) -> float:
     if not raw:
         return default
     try:
-        return float(raw)
+        value = float(raw)
     except ValueError:
         raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    # float() happily parses 'nan'/'inf': NaN defeats every <=/>=
+    # guard downstream (nan <= 0 is False, so it would reach
+    # setitimer), and infinities/negatives are never meaningful for
+    # these knobs.  Fail loudly instead of arming a broken timer.
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {raw!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {raw!r}")
+    return value
 
 
 def _env_int(name: str, default: int) -> int:
@@ -545,9 +563,19 @@ def _env_int(name: str, default: int) -> int:
     if not raw:
         return default
     try:
-        return int(raw)
+        value = int(raw)
     except ValueError:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {raw!r}")
+    return value
+
+
+# Lease bounds for the internal worker fleet: long enough that only a
+# dead worker's lease ever expires (live ones heartbeat well inside
+# it), short enough that crash recovery doesn't stall a sweep.
+FLEET_LEASE_S = 30.0
+FLEET_HEARTBEAT_S = 2.0
 
 
 def run_sweep(
@@ -560,13 +588,25 @@ def run_sweep(
     backoff_s: float = 0.05,
     journal: Optional[object] = None,
     resume: bool = False,
+    store: Optional[object] = None,
+    lease_s: float = FLEET_LEASE_S,
+    heartbeat_s: float = FLEET_HEARTBEAT_S,
 ) -> SweepReport:
     """Run sweep cells, optionally across ``jobs`` worker processes.
 
-    A failed cell never aborts the sweep: its traceback is recorded in
-    the report and the remaining cells keep running.  If the process
-    pool cannot be created or breaks (restricted sandboxes, OOM kills),
-    the unfinished cells transparently fall back to serial execution.
+    A thin client of the work-queue bus (:mod:`~repro.harness.bus`):
+    every cell flows through lease -> execute -> ack.  Serially the
+    worker loop runs inline over an in-memory bus; with ``jobs > 1``
+    the cells go onto a private SQLite bus and ``jobs`` independent
+    worker processes drain it.  A SIGKILLed or wedged worker only
+    costs its in-flight lease: the lease expires and the cell is
+    re-delivered — same attempt, same seed, byte-identical result —
+    to a surviving worker, or to a serial fallback drain in this
+    process if the whole fleet dies (restricted sandboxes, OOM kills).
+
+    A failed cell never aborts the sweep: after ``retries`` reseeded
+    attempts it is dead-lettered and reported as a failed outcome with
+    its traceback/stall dump, while the remaining cells keep running.
 
     ``cell_timeout`` (seconds per attempt) and ``retries`` default to
     the ``REPRO_CELL_TIMEOUT`` / ``REPRO_RETRIES`` env vars, so CI can
@@ -574,7 +614,13 @@ def run_sweep(
     names a :class:`SweepJournal` path to checkpoint completed cells
     into (written from the parent process only); with ``resume``,
     successful journalled cells are restored instead of recomputed.
+    ``store`` names a content-addressed result store
+    (:mod:`~repro.harness.store`): hits skip execution, fresh results
+    are recorded for future sweeps.
     """
+    from . import service
+    from .bus import DEAD, DONE, BusPolicy, MemoryBus, SqliteBus
+
     cells = list(cells)
     if cell_timeout is None:
         cell_timeout = _env_float(CELL_TIMEOUT_ENV, 0.0)
@@ -603,43 +649,103 @@ def run_sweep(
             if progress:
                 _report_progress(restored, done, total)
     pending = [i for i in range(total) if outcomes[i] is None]
-    if jobs > 1 and len(pending) > 1:
+    policy = BusPolicy(retries=retries, backoff_s=backoff_s)
+    options = service.WorkerOptions(
+        lease_s=lease_s, heartbeat_s=heartbeat_s,
+        cell_timeout=cell_timeout,
+    )
+    task_index: Dict[str, int] = {}
+    handled: set = set()
+
+    def handle_terminal(record: Optional[Dict[str, object]]) -> None:
+        """Journal + report one task that reached done/dead (once)."""
+        nonlocal done
+        if record is None or record["task_id"] in handled:
+            return
+        handled.add(record["task_id"])
+        index = task_index[record["task_id"]]
+        outcome = service.outcome_from_record(cells[index], record)
+        outcomes[index] = outcome
+        if jnl is not None:
+            jnl.append(outcome)
+        done += 1
+        if progress:
+            _report_progress(outcome, done, total)
+
+    def enqueue(bus: object) -> None:
+        for index in pending:
+            task_id = service.task_id_for(index, cells[index])
+            task_index[task_id] = index
+            bus.put(task_id, service.cell_payload(cells[index]))
+
+    def drain_terminal(bus: object) -> None:
+        for record in bus.records([DONE, DEAD]):
+            handle_terminal(record)
+
+    if pending and (jobs <= 1 or len(pending) == 1):
+        memory_bus = MemoryBus(policy=policy)
+        enqueue(memory_bus)
+        service.worker_loop(
+            memory_bus, store=store, options=options,
+            on_terminal=handle_terminal,
+        )
+        drain_terminal(memory_bus)
+    elif pending:
         if warm:
             warm_design_cache([cells[i] for i in pending])
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending))
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _run_cell, cells[i], cell_timeout, retries, backoff_s
-                    ): i
-                    for i in pending
-                }
-                for future in as_completed(futures):
-                    outcome = future.result()
-                    outcomes[futures[future]] = outcome
-                    if jnl is not None:
-                        jnl.append(outcome)
-                    done += 1
-                    if progress:
-                        _report_progress(outcome, done, total)
-        except (OSError, BrokenProcessPool) as exc:
-            if progress:
-                print(
-                    f"[sweep] process pool unavailable ({exc!r}); "
-                    "finishing serially",
-                    flush=True,
+        store_root = getattr(store, "root", None)
+        with tempfile.TemporaryDirectory(prefix="repro-sweep-bus-") as tmp:
+            bus = SqliteBus(os.path.join(tmp, "bus.sqlite"), policy=policy)
+            enqueue(bus)
+            procs: List[object] = []
+            try:
+                procs = service.spawn_fleet(
+                    bus.path, min(jobs, len(pending)), policy, options,
+                    store_root=(
+                        str(store_root) if store_root is not None else None
+                    ),
                 )
-    for index, cell in enumerate(cells):  # serial path and pool fallback
-        if outcomes[index] is None:
-            outcome = _run_cell(cell, cell_timeout, retries, backoff_s)
-            outcomes[index] = outcome
-            if jnl is not None:
-                jnl.append(outcome)
-            done += 1
-            if progress:
-                _report_progress(outcome, done, total)
+            except (OSError, ValueError) as exc:
+                if progress:
+                    print(
+                        f"[sweep] worker fleet unavailable ({exc!r}); "
+                        "finishing serially",
+                        flush=True,
+                    )
+            try:
+                while procs:
+                    # The parent is the lease reaper: a SIGKILLed
+                    # worker's cells come back here and a surviving
+                    # worker re-leases them.
+                    bus.expire()
+                    drain_terminal(bus)
+                    if bus.all_terminal():
+                        break
+                    if not any(p.is_alive() for p in procs):
+                        break  # whole fleet died: fall back below
+                    time.sleep(0.05)
+                for proc in procs:
+                    proc.join(timeout=5.0)
+                if not bus.all_terminal():
+                    # Serial fallback: every worker is gone, so their
+                    # leases can be force-expired safely and the rest
+                    # of the sweep drained in this process.
+                    if progress and procs:
+                        print(
+                            "[sweep] worker fleet exited early; "
+                            "finishing serially",
+                            flush=True,
+                        )
+                    bus.expire(float("inf"))
+                    service.worker_loop(
+                        bus, store=store, options=options,
+                        on_terminal=handle_terminal,
+                    )
+                drain_terminal(bus)
+            finally:
+                for proc in procs:
+                    if proc.is_alive():
+                        proc.terminate()
     return SweepReport(
         outcomes=outcomes,
         wall_s=time.perf_counter() - start,
@@ -658,6 +764,7 @@ def sweep(
     retries: Optional[int] = None,
     journal: Optional[object] = None,
     resume: bool = False,
+    store: Optional[object] = None,
 ) -> SweepReport:
     """Grid convenience wrapper: :func:`expand_grid` + :func:`run_sweep`."""
     cells = expand_grid(schemes, benchmarks, config, reseed_cells)
@@ -669,4 +776,5 @@ def sweep(
         retries=retries,
         journal=journal,
         resume=resume,
+        store=store,
     )

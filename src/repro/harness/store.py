@@ -1,0 +1,285 @@
+"""Content-addressed result store for completed sweep cells.
+
+One entry per ``(scheme, benchmark, fully-resolved config, package
+version)`` — the address is a hash over exactly the inputs that
+determine the result bytes, so a lookup either returns the
+bit-identical result any correct run would produce, or misses.  That
+makes the store safe to share between sweeps, workers and hosts: a
+16x16 design-space query ("give me scheme X at 16x16") is answered in
+O(lookup) without re-simulating, and a worker that finds its leased
+cell in the store can ack the stored result without running anything —
+the determinism contract guarantees the bytes match what it would have
+computed.
+
+Backends:
+
+* :class:`MemoryResultStore` — a dict, for tests and in-process use;
+* :class:`DirectoryResultStore` — one fsynced JSON file per entry
+  (atomic temp-file + rename + parent-directory fsync, the same
+  durability discipline as the design cache), safe for concurrent
+  writers because every entry is immutable under its address.
+
+The package version is part of the address, so a release that could
+change simulation behaviour silently invalidates every stored result
+instead of serving stale bytes.  Corrupt entries are treated as
+misses and evicted, never trusted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from .cache import _fsync_dir
+from .experiment import ExperimentConfig, config_digest
+from .metrics import ExperimentResult, result_from_dict, result_to_dict
+
+STORE_SCHEMA = 1
+STORE_ENV = "REPRO_STORE_DIR"
+_DISABLED = ("", "0", "off", "none", "disabled")
+
+
+def _version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def result_key(
+    scheme: str,
+    benchmark: str,
+    config: ExperimentConfig,
+    version: Optional[str] = None,
+) -> str:
+    """The content address of one cell's result."""
+    version = version or _version()
+    payload = f"{version}:{scheme}:{benchmark}:{config_digest(config)}"
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+def make_record(
+    scheme: str,
+    benchmark: str,
+    config: ExperimentConfig,
+    result: ExperimentResult,
+    seed_used: Optional[int] = None,
+    attempts: int = 1,
+    duration_s: float = 0.0,
+) -> Dict[str, object]:
+    """The plain-JSON store entry for one completed cell."""
+    return {
+        "schema": STORE_SCHEMA,
+        "key": result_key(scheme, benchmark, config),
+        "version": _version(),
+        "scheme": scheme,
+        "benchmark": benchmark,
+        "width": config.width,
+        "config_digest": config_digest(config),
+        "seed": config.seed,
+        "seed_used": seed_used,
+        "attempts": attempts,
+        "duration_s": duration_s,
+        "result": result_to_dict(result),
+    }
+
+
+def record_result(record: Dict[str, object]) -> Optional[ExperimentResult]:
+    """Rebuild the :class:`ExperimentResult` inside a store record."""
+    data = record.get("result")
+    if not isinstance(data, dict):
+        return None
+    try:
+        return result_from_dict(data)
+    except (TypeError, ValueError):
+        return None
+
+
+def _valid_record(record: object) -> bool:
+    return (
+        isinstance(record, dict)
+        and record.get("schema") == STORE_SCHEMA
+        and isinstance(record.get("key"), str)
+        and isinstance(record.get("result"), dict)
+    )
+
+
+def _matches(
+    record: Dict[str, object],
+    scheme: Optional[str],
+    benchmark: Optional[str],
+    width: Optional[int],
+    config_digest: Optional[str],
+) -> bool:
+    if scheme is not None and record.get("scheme") != scheme:
+        return False
+    if benchmark is not None and record.get("benchmark") != benchmark:
+        return False
+    if width is not None and record.get("width") != width:
+        return False
+    if config_digest is not None and (
+        record.get("config_digest") != config_digest
+    ):
+        return False
+    return True
+
+
+class MemoryResultStore:
+    """Dict-backed store (tests, single-process fleets)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Dict[str, object]] = {}
+
+    def put(self, record: Dict[str, object]) -> None:
+        if not _valid_record(record):
+            raise ValueError("malformed store record")
+        key = record["key"]
+        self._entries[key] = json.loads(json.dumps(record))
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        record = self._entries.get(key)
+        return json.loads(json.dumps(record)) if record is not None else None
+
+    def query(
+        self,
+        scheme: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        width: Optional[int] = None,
+        config_digest: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        return sorted(
+            (
+                json.loads(json.dumps(record))
+                for record in self._entries.values()
+                if _matches(record, scheme, benchmark, width, config_digest)
+            ),
+            key=lambda r: (r["scheme"], r["benchmark"], r["key"]),
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class DirectoryResultStore:
+    """One immutable fsynced JSON file per entry under ``root``.
+
+    ``get`` is O(1) (the filename is the address); ``query`` scans.
+    Entries are only ever written whole (temp file + fsync + rename +
+    directory fsync), so concurrent workers racing to store the same
+    key land byte-identical bytes and readers can never observe a torn
+    entry.
+    """
+
+    def __init__(self, root: object) -> None:
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"result-{key}.json"
+
+    def put(self, record: Dict[str, object]) -> None:
+        if not _valid_record(record):
+            raise ValueError("malformed store record")
+        path = self._path(record["key"])
+        data = json.dumps(record, sort_keys=True).encode("utf-8")
+        tmp: Optional[str] = None
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(self.root), prefix=path.name, suffix=".tmp"
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+            tmp = None
+            _fsync_dir(self.root)
+        except OSError:
+            # A read-only store degrades to a cache miss on the next
+            # read; don't leave a half-written temp file behind.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        path = self._path(key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            record = json.loads(text)
+        except ValueError:
+            record = None
+        if not _valid_record(record) or record["key"] != key:
+            try:
+                path.unlink()  # corrupt entry: evict, never trust
+            except OSError:
+                pass
+            return None
+        return record
+
+    def _iter_records(self) -> Iterator[Dict[str, object]]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("result-*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if _valid_record(record):
+                yield record
+
+    def query(
+        self,
+        scheme: Optional[str] = None,
+        benchmark: Optional[str] = None,
+        width: Optional[int] = None,
+        config_digest: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        return sorted(
+            (
+                record for record in self._iter_records()
+                if _matches(record, scheme, benchmark, width, config_digest)
+            ),
+            key=lambda r: (r["scheme"], r["benchmark"], r["key"]),
+        )
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_records())
+
+
+def default_store_dir() -> Optional[Path]:
+    """Store location from the environment, or ``None`` when disabled.
+
+    Resolution order: ``$REPRO_STORE_DIR`` (empty/``off``/``0``/
+    ``none`` disables), then ``$XDG_CACHE_HOME/repro-equinox/results``,
+    then ``~/.cache/repro-equinox/results``.
+    """
+    env = os.environ.get(STORE_ENV)
+    if env is not None:
+        if env.strip().lower() in _DISABLED:
+            return None
+        return Path(env)
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base) if base else Path.home() / ".cache"
+    return root / "repro-equinox" / "results"
+
+
+def resolve_store(spec: Optional[str]) -> Optional[DirectoryResultStore]:
+    """A store from a CLI/config spec: a path, ``off``, or ``None``.
+
+    ``None`` defers to the environment (:func:`default_store_dir`);
+    the disabling sentinels return ``None``.
+    """
+    if spec is None:
+        root = default_store_dir()
+        return DirectoryResultStore(root) if root is not None else None
+    if spec.strip().lower() in _DISABLED:
+        return None
+    return DirectoryResultStore(spec)

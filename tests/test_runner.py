@@ -195,6 +195,34 @@ class TestDiskCache:
         assert events.index("fsync") < events.index("replace")
         assert json.loads(target.read_text()) == {"k": 1}
 
+    def test_disk_write_fsyncs_directory_after_publishing(self, tmp_path,
+                                                          monkeypatch):
+        # Durability regression (the other half of the torn-write
+        # fix): os.replace lives in the directory's entry table, so
+        # without a directory fsync *after* the rename a power loss
+        # can silently undo the publish even though the entry's bytes
+        # were durable.  Detect the directory fsync by fd: it is the
+        # only fsync on a directory file descriptor.
+        import stat
+
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            mode = os.fstat(fd).st_mode
+            events.append("fsync-dir" if stat.S_ISDIR(mode) else "fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(cache.os, "fsync", spy_fsync)
+        monkeypatch.setattr(cache.os, "replace", spy_replace)
+        cache._disk_write(tmp_path / "design-cafef00d.json", {"k": 2})
+        assert "fsync-dir" in events
+        assert events.index("replace") < events.index("fsync-dir")
+
     def test_torn_write_never_visible_under_entry_name(self, tmp_path,
                                                        monkeypatch):
         # A writer that dies before the rename must leave the entry

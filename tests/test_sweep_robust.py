@@ -178,6 +178,30 @@ class TestRetries:
         report = run_sweep([])  # empty grid: knobs parsed, nothing run
         assert report.outcomes == []
 
+    @pytest.mark.parametrize("raw", ["nan", "NaN", "inf", "-inf"])
+    def test_non_finite_timeout_rejected(self, monkeypatch, raw):
+        # Regression: float("nan") defeats the ``seconds <= 0`` guard
+        # (nan compares false to everything) and would reach
+        # setitimer; inf would arm a timer that never fires.  Both
+        # must be loud config errors, not silent misbehaviour.
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", raw)
+        with pytest.raises(ValueError, match="REPRO_CELL_TIMEOUT.*finite"):
+            run_sweep([])
+
+    def test_negative_timeout_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "-1.5")
+        with pytest.raises(ValueError, match="REPRO_CELL_TIMEOUT.*>= 0"):
+            run_sweep([])
+
+    def test_negative_retries_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "-3")
+        with pytest.raises(ValueError, match="REPRO_RETRIES.*>= 0"):
+            run_sweep([])
+
+    def test_env_guard_helpers(self):
+        assert runner._env_float("REPRO_NO_SUCH_VAR", 2.5) == 2.5
+        assert runner._env_int("REPRO_NO_SUCH_VAR", 4) == 4
+
 
 class TestJournal:
     def test_config_digest_sensitivity(self):

@@ -33,7 +33,9 @@ from .core.serialize import load_design, save_design
 from .harness.experiment import ExperimentConfig, run_experiment, run_suite
 from .harness.metrics import format_table, normalize
 from .schemes import SCHEME_ORDER
+from .workloads import TIERS as WORKLOAD_TIERS
 from .workloads import names as benchmark_names
+from .workloads import tier as workload_tier
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -170,7 +172,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         store = resolve_store(args.store)
     schemes = args.schemes or SCHEME_ORDER
-    benchmarks = args.benchmarks or ["gaussian", "hotspot", "kmeans"]
+    benchmarks = args.benchmarks or workload_tier(args.tier or "smoke")
     results = run_suite(schemes, benchmarks, _experiment_config(args),
                         progress=True, jobs=args.jobs,
                         cell_timeout=args.cell_timeout,
@@ -463,6 +465,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p_sweep)
     p_sweep.add_argument("--schemes", nargs="*", choices=SCHEME_ORDER)
     p_sweep.add_argument("--benchmarks", nargs="*")
+    p_sweep.add_argument(
+        "--tier", choices=sorted(WORKLOAD_TIERS), default=None,
+        help="named benchmark tier used when --benchmarks is absent: "
+             "'smoke' is the cheap CI trio (the default), 'full' the "
+             "29-benchmark paper suite, 'mesh32' a representative "
+             "6-benchmark slice for 32x32 scale-up sweeps",
+    )
     p_sweep.add_argument("--quota", type=int, default=60)
     p_sweep.add_argument("--iterations", type=int, default=100)
     p_sweep.add_argument("--jobs", type=int, default=1,

@@ -11,7 +11,11 @@ Scenarios bracket the simulator's tick hot path:
   rate, the mostly-idle regime the active-set scheduler exists for
   (also paired with ``low_load_vector``);
 * ``system`` — one full (scheme, benchmark) cell through the GPU model,
-  the shape every harness sweep repeats hundreds of times.
+  the shape every harness sweep repeats hundreds of times;
+* ``ring_router`` / ``routerless`` — full-system cells on the loop
+  topologies, so checksum or cycles/s regressions in the independent
+  baseline schemes fail the gate like the mesh ones (object engine
+  only — the loop schemes have no vector twin by design).
 
 Each scenario reports wall-clock throughput (cycles/s, best of
 ``repeat`` runs) *and* a behaviour checksum over the simulated
@@ -37,7 +41,7 @@ from .. import __version__
 from ..core.grid import Grid
 from ..workloads.synthetic import run_uniform
 
-BENCH_SCHEMA = 2
+BENCH_SCHEMA = 3
 DEFAULT_TOLERANCE = 0.25
 
 # The vector engine must beat the object engine by at least this factor
@@ -145,16 +149,21 @@ def _scenario_low_load_vector(
     return _scenario_low_load(repeat, scheduler, engine)
 
 
-def _scenario_system(
-    repeat: int, scheduler: str, engine: str = "object"
+def _system_row(
+    repeat: int,
+    scheduler: str,
+    engine: str,
+    scheme: str,
+    benchmark: str,
+    **config_kwargs,
 ) -> Dict[str, object]:
-    """One full-system experiment cell (SeparateBase x kmeans)."""
+    """One full (scheme, benchmark) cell through the GPU model."""
     from .experiment import ExperimentConfig, run_experiment
 
-    config = ExperimentConfig(quota=40, mcts_iterations=40,
-                              scheduler=scheduler, engine=engine)
+    config = ExperimentConfig(scheduler=scheduler, engine=engine,
+                              **config_kwargs)
     best, result = _time_best(
-        repeat, lambda: run_experiment("SeparateBase", "kmeans", config)
+        repeat, lambda: run_experiment(scheme, benchmark, config)
     )
     return {
         "engine": engine,
@@ -167,12 +176,46 @@ def _scenario_system(
     }
 
 
+def _scenario_system(
+    repeat: int, scheduler: str, engine: str = "object"
+) -> Dict[str, object]:
+    """One full-system experiment cell (SeparateBase x kmeans)."""
+    return _system_row(repeat, scheduler, engine, "SeparateBase",
+                       "kmeans", quota=40, mcts_iterations=40)
+
+
+def _scenario_ring_router(
+    repeat: int, scheduler: str, engine: str = "object"
+) -> Dict[str, object]:
+    """Full-system cell on the counter-rotating-ring baseline.
+
+    A smaller mesh than ``system``: the serpentine ring's average hop
+    count grows with the square of the width, so a 6x6 cell already
+    exercises the loop hot path at comparable wall-clock cost.  The
+    engine is pinned to object — loop topologies have no vector twin,
+    so a forced ``--engine vector`` run keeps these cells meaningful
+    instead of crashing.
+    """
+    return _system_row(repeat, scheduler, "object", "ring_router",
+                       "kmeans", width=6, num_cbs=5, quota=24)
+
+
+def _scenario_routerless(
+    repeat: int, scheduler: str, engine: str = "object"
+) -> Dict[str, object]:
+    """Full-system cell on the routerless loop baseline (object-only)."""
+    return _system_row(repeat, scheduler, "object", "routerless",
+                       "kmeans", width=6, num_cbs=5, quota=24)
+
+
 SCENARIOS: Dict[str, Callable[..., Dict[str, object]]] = {
     "synthetic": _scenario_synthetic,
     "synthetic_vector": _scenario_synthetic_vector,
     "low_load": _scenario_low_load,
     "low_load_vector": _scenario_low_load_vector,
     "system": _scenario_system,
+    "ring_router": _scenario_ring_router,
+    "routerless": _scenario_routerless,
 }
 
 

@@ -222,6 +222,12 @@ def run_with_fabric(
     fault_specs = tuple(config.faults) or faults_from_env()
     injector: Optional[FaultInjector] = None
     if fault_specs:
+        if not fabric.supports_faults:
+            raise ValueError(
+                f"scheme {scheme_name or fabric.config.name!r} does not "
+                f"support fault plans (topology "
+                f"{fabric.config.topology!r} has no detour routing)"
+            )
         injector = FaultInjector(fabric, FaultPlan(fault_specs))
     t_interval = resolve_interval(config.telemetry) or interval_from_env()
     registry: Optional[TelemetryRegistry] = None

@@ -102,6 +102,7 @@ class Router:
         "monopolize",
         "monopoly_classes",
         "eject_filter",
+        "route_override",
         "failed_outputs",
         "peak_flits",
     )
@@ -168,6 +169,12 @@ class Router:
         # Optional hook restricting which eject ports a packet may use
         # (concentrated meshes dedicate one port per attached tile).
         self.eject_filter = None
+        # Optional hook replacing mesh route computation entirely:
+        # called as hook(router, packet) -> (out_port, allowed_vcs).
+        # Loop topologies (ring/routerless) use it — a packet on a
+        # unidirectional loop has exactly one forward port, and its
+        # legal VCs come from the loop's dateline, not vc_classes.
+        self.route_override = None
         # Output ports currently failed by fault injection.  Failure is
         # fail-stop for *new* allocations only: a packet already
         # allocated to the port finishes its wormhole normally (links
@@ -188,6 +195,18 @@ class Router:
         self.input_ports.append(port)
         self.rr_in[port] = 0
         self.port_flits[port] = 0
+        self.rr_mod = max(self.rr_mod, port + 1)
+        return port
+
+    def add_output_port(
+        self, num_vcs: int, capacity: int, latency: int = 1,
+        interposer: bool = False,
+    ) -> int:
+        """Add an output-only link port (loop topologies); returns index."""
+        port = 1 + max(max(self.inputs), max(self.outputs))
+        self.outputs[port] = OutputPort(
+            num_vcs, capacity, latency=latency, interposer=interposer
+        )
         self.rr_mod = max(self.rr_mod, port + 1)
         return port
 
@@ -303,6 +322,17 @@ class Router:
         packet = flit.packet
         if packet.dst == self.node:
             self._allocate_eject(port, vc, ivc)
+            return
+        if self.route_override is not None:
+            out_port, allowed = self.route_override(self, packet)
+            best = self._scan_outputs((out_port,), allowed, (), packet)
+            if best is not None:
+                _, out_port, out_vc = best
+                out = self.outputs[out_port]
+                out.owner[out_vc] = (port, vc)
+                ivc.out_port = out_port
+                ivc.out_vc = out_vc
+                self.network.stats.vc_allocs += 1
             return
         src = packet.inject_router if packet.inject_router is not None else packet.src
         candidates = routing.route_candidates(

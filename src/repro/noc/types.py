@@ -73,6 +73,7 @@ class Packet:
         "token",
         "inject_router",
         "eject_port",
+        "lane",
     )
 
     def __init__(
@@ -98,6 +99,7 @@ class Packet:
         self.token = token  # opaque ref used to match replies to requests
         self.inject_router: Optional[int] = None
         self.eject_port: Optional[object] = None  # OutputPort that drained us
+        self.lane: Optional[int] = None  # loop index on loop topologies
 
     def make_flits(self) -> List["Flit"]:
         """Serialise into flits (head first, tail last)."""

@@ -210,13 +210,29 @@ def _check_router(net: Network, router: Router,
             # all buffered flits were forwarded while the packet's tail
             # is still in flight on the upstream link.
             if strict_classes and not router.monopolize:
-                for flit in ivc.queue:
-                    allowed = net.vc_classes[flit.packet.vc_class]
-                    if vc not in allowed:
-                        problems.append(
-                            f"router {router.node} in(p{port},v{vc}): flit "
-                            f"of class {flit.packet.vc_class} in foreign VC"
-                        )
+                if net.loops is not None:
+                    # Loop topologies: VC legality is positional (the
+                    # dateline), not class-based.
+                    expected_vc = net.loop_vc_fn
+                    for flit in ivc.queue:
+                        if expected_vc is None or flit.packet.lane is None:
+                            continue
+                        want = expected_vc(flit.packet, router.node)
+                        if vc != want:
+                            problems.append(
+                                f"router {router.node} in(p{port},v{vc}): "
+                                f"flit of lane {flit.packet.lane} off its "
+                                f"dateline VC {want}"
+                            )
+                else:
+                    for flit in ivc.queue:
+                        allowed = net.vc_classes[flit.packet.vc_class]
+                        if vc not in allowed:
+                            problems.append(
+                                f"router {router.node} in(p{port},v{vc}): "
+                                f"flit of class {flit.packet.vc_class} in "
+                                f"foreign VC"
+                            )
         if port_counted != router.port_flits.get(port, 0):
             problems.append(
                 f"router {router.node} port_flits[p{port}] "

@@ -22,6 +22,12 @@ from ..noc.interface import (
     MultiPortInterface,
     NetworkInterface,
 )
+from ..noc.loops import (
+    LoopInterface,
+    LoopState,
+    ring_loops,
+    routerless_loops,
+)
 from ..noc.network import Network, network_class, resolve_engine, resolve_scheduler
 from ..noc.topology import CmeshEnvelope, CmeshMap, build_cmesh
 from ..noc.types import Packet, PacketType, packet_flits
@@ -50,6 +56,10 @@ class SchemeConfig:
     da2mesh_clock_ratio: float = 2.5
     multiport: int = 1
     equinox: bool = False
+    # Physical topology: "mesh" (all paper schemes), or the loop
+    # baselines "ring" (Wu's ring-router NoC) and "routerless" (Lin's
+    # loop-covered routerless NoC).
+    topology: str = "mesh"
 
     def __post_init__(self) -> None:
         if self.network_type not in ("single", "separate"):
@@ -59,6 +69,31 @@ class SchemeConfig:
         if self.da2mesh and self.network_type != "separate":
             raise ValueError("DA2Mesh splits the reply network of a "
                              "separate-network design")
+        if self.topology not in ("mesh", "ring", "routerless"):
+            raise ValueError(
+                "topology must be 'mesh', 'ring' or 'routerless'"
+            )
+        if self.topology != "mesh":
+            if self.network_type != "separate":
+                raise ValueError(
+                    "loop topologies use separate request/reply networks"
+                )
+            if (
+                self.cmesh
+                or self.da2mesh
+                or self.multiport > 1
+                or self.equinox
+                or self.monopolize
+                or self.monopolize_injection
+            ):
+                raise ValueError(
+                    "loop topologies cannot combine with mesh overlays "
+                    "or NI variants"
+                )
+            if self.num_vcs < 2:
+                raise ValueError(
+                    "loop topologies need >= 2 VCs for the dateline"
+                )
 
 
 class Fabric:
@@ -97,7 +132,49 @@ class Fabric:
         data_flits = packet_flits(PacketType.READ_REPLY, config.flit_bytes)
         vc_cap = max_packet_flits or data_flits
 
-        if config.network_type == "single":
+        # --- Loop topologies (ring / routerless) -------------------------
+        # Two separate loop-wired networks.  The VC pair implements the
+        # loop dateline, not a traffic-class partition, so packets are
+        # all class 0 and vc_classes pins injection to VC 0 (the
+        # dateline's precondition); routers pick the dateline VC via
+        # route_override.
+        self.loop_states: Dict[str, LoopState] = {}
+        if config.topology != "mesh":
+            if self.engine != "object":
+                raise ValueError(
+                    f"topology {config.topology!r} is only implemented by "
+                    f"the object engine (got {self.engine!r})"
+                )
+            make_loops = (
+                ring_loops if config.topology == "ring" else routerless_loops
+            )
+            self.request_net = NetCls(
+                "request",
+                grid,
+                config.flit_bytes,
+                num_vcs=config.num_vcs,
+                vc_capacity=vc_cap,
+                routing_algorithm=config.routing,
+                vc_classes=[(0,)],
+                scheduler=self.scheduler,
+                loops=make_loops(grid),
+            )
+            self._add_network(self.request_net, 1.0, "request")
+            self.reply_net = NetCls(
+                "reply",
+                grid,
+                config.flit_bytes,
+                num_vcs=config.num_vcs,
+                vc_capacity=vc_cap,
+                routing_algorithm=config.routing,
+                vc_classes=[(0,)],
+                scheduler=self.scheduler,
+                loops=make_loops(grid),
+            )
+            self._add_network(self.reply_net, 1.0, "reply")
+            self.loop_states["request"] = LoopState(self.request_net)
+            self.loop_states["reply"] = LoopState(self.reply_net)
+        elif config.network_type == "single":
             vc_classes = [(0,), (1,)]
             net = NetCls(
                 "single",
@@ -227,10 +304,27 @@ class Fabric:
                 return config.flit_bytes
             return BASE_CORE_BYTES
 
-        self.request_nis: Dict[int, NetworkInterface] = {
+        if config.topology != "mesh":
+            # Loop NIs stamp the selected lane (wire selection) at
+            # injection; everything downstream is lane-following.
+            self.request_nis: Dict[int, NetworkInterface] = {
+                pe: LoopInterface(
+                    self.request_net, pe, self.loop_states["request"]
+                )
+                for pe in self.pes
+            }
+            self.reply_nis: Dict[int, object] = {
+                cb: LoopInterface(
+                    self.reply_net, cb, self.loop_states["reply"]
+                )
+                for cb in placement
+            }
+            self._pop_toggle = {}
+            return
+        self.request_nis = {
             pe: NetworkInterface(self.request_net, pe) for pe in self.pes
         }
-        self.reply_nis: Dict[int, object] = {}
+        self.reply_nis = {}
         for cb in placement:
             if config.da2mesh:
                 # One NI per subnet, but a single serialisation core per
@@ -264,6 +358,19 @@ class Fabric:
                 for _ in range(config.multiport - 1):
                     self.request_net.add_eject_port(cb)
         self._pop_toggle: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def supports_faults(self) -> bool:
+        """Whether fault plans may target this fabric.
+
+        Loop topologies have no adaptive detour to route around a dead
+        link — a severed loop strands every lane through it — so fault
+        injection is a declared non-capability there, enforced where
+        plans are armed (``run_with_fabric``) and generated
+        (``repro.verify``).
+        """
+        return self.config.topology == "mesh"
 
     # ------------------------------------------------------------------
     def _add_network(self, net: Network, ratio: float, role: str) -> None:

@@ -1,0 +1,30 @@
+"""(8) ring_router: the ring-router NoC baseline.
+
+Wu et al., "A Ring Router Microarchitecture for Network-on-Chips":
+every node is a ring *station* on two counter-rotating rings that visit
+the whole chip in serpentine order.  A station forwards one flit per
+cycle along its ring (the single-cycle traversal of the paper's
+bufferless bypass path); a flit that loses arbitration waits in the
+station's small side buffer — here the input VC FIFO of the loop link.
+Injection picks the rotation with the shorter forward distance.
+
+Interposer mapping: the serpentine closing link (last station back to
+the first) is a long express wire; on the interposer model it is a
+single-cycle interposer trace, the same physical resource as an
+EquiNox CB-to-EIR link.  Request and reply traffic ride separate ring
+pairs, and the two VCs per station implement the wrap-point dateline
+(see :mod:`repro.noc.loops`), not a traffic-class split.
+"""
+
+from __future__ import annotations
+
+from .base import SchemeConfig
+
+
+def config() -> SchemeConfig:
+    return SchemeConfig(
+        name="ring_router",
+        network_type="separate",
+        placement_name="diamond",
+        topology="ring",
+    )

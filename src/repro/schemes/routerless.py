@@ -1,0 +1,30 @@
+"""(9) routerless: the routerless (loop-covered) NoC baseline.
+
+Lin et al., "Optimizing Routerless Network-on-Chip Designs": replace
+routers with a precomputed set of overlapping unidirectional loops that
+together cover every source/destination pair.  There is no per-hop
+route computation — injection *selects a wire* (the minimal-distance
+loop through source and destination) and the packet follows it to the
+destination.  The loop set here is the layered slab-rectangle
+construction of :func:`repro.noc.loops.routerless_loops`, whose
+all-pairs coverage is checked property-style in the test suite.
+
+Interposer mapping: each loop is a dedicated wiring track; loops whose
+rectangle touches the chip boundary correspond to interposer-routed
+perimeter tracks, interior loops to on-chip metal.  Request and reply
+traffic use separate loop sets, and the two VCs per hop implement each
+loop's dateline (see :mod:`repro.noc.loops`).
+"""
+
+from __future__ import annotations
+
+from .base import SchemeConfig
+
+
+def config() -> SchemeConfig:
+    return SchemeConfig(
+        name="routerless",
+        network_type="separate",
+        placement_name="diamond",
+        topology="routerless",
+    )

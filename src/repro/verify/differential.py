@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from ..schemes import get_spec
 from .invariants import run_case
 from .space import VerifyCase
 
@@ -66,16 +67,27 @@ def differential_variants(case: VerifyCase) -> Dict[str, VerifyCase]:
     base = base_case(case)
     other = "dense" if base.scheduler == "active" else "active"
     telemetry = case.telemetry or 2
-    return {
+    variants = {
         "scheduler": base.with_variant(scheduler=other),
         "telemetry": base.with_variant(telemetry=telemetry),
-        "armed-faults": base.with_variant(faults=base.armed_faults()),
-        "all": base.with_variant(
+    }
+    if get_spec(case.scheme).supports_faults:
+        # Armed-plan purity only applies to schemes that accept fault
+        # plans at all; a no-fault-capability scheme rejects even a
+        # never-firing plan at arm time (by design, and tested).
+        variants["armed-faults"] = base.with_variant(
+            faults=base.armed_faults()
+        )
+        variants["all"] = base.with_variant(
             scheduler=other,
             telemetry=telemetry,
             faults=base.armed_faults(),
-        ),
-    }
+        )
+    else:
+        variants["all"] = base.with_variant(
+            scheduler=other, telemetry=telemetry
+        )
+    return variants
 
 
 def base_case(case: VerifyCase) -> VerifyCase:
@@ -126,6 +138,11 @@ def check_engine_parity_case(case: VerifyCase) -> str:
     pure-knob baseline.  Returns the fingerprint both engines agree on.
     """
     base_run = run_case(case, validate_every=0)
+    if len(get_spec(case.scheme).engines) < 2:
+        # Object-only schemes have no counterpart engine: the parity
+        # property holds vacuously, but the base run still exercised
+        # the case (liveness, accounting, watchdog).
+        return base_run.stats_fingerprint
     twin = engine_counterpart(case)
     twin_run = run_case(twin, validate_every=0)
     if twin_run.stats_fingerprint != base_run.stats_fingerprint:

@@ -25,7 +25,7 @@ from typing import Dict, Tuple
 
 from ..harness.experiment import ExperimentConfig
 from ..noc.faults import FaultSpec
-from ..schemes import SCHEME_ORDER
+from ..schemes import SCHEME_ORDER, get_spec
 from ..workloads.profiles import BY_NAME
 
 #: Default simulated-cycle bound: liveness means finishing well inside it.
@@ -64,6 +64,19 @@ class VerifyCase:
         if self.scheme not in SCHEME_ORDER:
             raise ValueError(
                 f"unknown scheme {self.scheme!r}; known: {SCHEME_ORDER}"
+            )
+        spec = get_spec(self.scheme)
+        if self.faults and not spec.supports_faults:
+            # Even an armed-but-never-firing plan is rejected at
+            # arm time for a no-fault-capability scheme, so the
+            # differential harness must not generate one here.
+            raise ValueError(
+                f"scheme {self.scheme!r} does not support fault plans"
+            )
+        if self.engine not in spec.engines:
+            raise ValueError(
+                f"scheme {self.scheme!r} is not implemented by the "
+                f"{self.engine!r} engine (supported: {spec.engines})"
             )
         if self.benchmark not in BY_NAME:
             raise ValueError(f"unknown benchmark {self.benchmark!r}")

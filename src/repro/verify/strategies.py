@@ -27,7 +27,7 @@ from typing import Optional, Sequence, Tuple
 from hypothesis import strategies as st
 
 from ..noc.faults import FaultSpec
-from ..schemes import SCHEME_ORDER
+from ..schemes import SCHEME_ORDER, get_spec
 from ..workloads import profiles
 from .space import VerifyCase
 
@@ -49,7 +49,7 @@ def benchmarks() -> st.SearchStrategy[str]:
 
 
 def schemes() -> st.SearchStrategy[str]:
-    """All 7 compared schemes."""
+    """All 9 compared schemes (loop baselines included)."""
     return st.sampled_from(SCHEME_ORDER)
 
 
@@ -161,6 +161,7 @@ def _cases(
     max_cycles: int,
 ) -> VerifyCase:
     scheme = draw(schemes())
+    spec = get_spec(scheme)
     width, num_cbs = draw(_mesh(widths, scheme))
     kwargs = {}
     if max_cycles:
@@ -173,11 +174,17 @@ def _cases(
         quota=draw(st.integers(2, 10)),
         seed=(draw(st.integers(0, 2**16 - 1)) + base_seed) % 2**20,
         scheduler=draw(st.sampled_from(["active", "dense"])),
-        engine=draw(st.sampled_from(["object", "vector"])),
+        # Only engines that actually implement the scheme (loop
+        # topologies are object-only).
+        engine=draw(st.sampled_from(list(spec.engines))),
         telemetry=draw(st.sampled_from([0, 0, 1, 3])),
         **kwargs,
     )
-    if with_faults and draw(st.integers(0, 9)) < 4:
+    if (
+        with_faults
+        and spec.supports_faults
+        and draw(st.integers(0, 9)) < 4
+    ):
         case = case.with_variant(
             faults=draw(fault_plans(width, case.max_cycles))
         )

@@ -1,7 +1,16 @@
 """Workload substrate: 29 benchmark profiles and traffic generators."""
 
 from .generator import GeneratedRequest, RequestGenerator
-from .profiles import BENCHMARKS, BY_NAME, WorkloadProfile, get, names, subset
+from .profiles import (
+    BENCHMARKS,
+    BY_NAME,
+    TIERS,
+    WorkloadProfile,
+    get,
+    names,
+    subset,
+    tier,
+)
 from .trace import TraceEntry, TraceRecorder, TraceSource, record_trace
 from .synthetic import (
     SweepPoint,
@@ -22,6 +31,8 @@ __all__ = [
     "get",
     "names",
     "subset",
+    "TIERS",
+    "tier",
     "TraceEntry",
     "TraceRecorder",
     "TraceSource",

@@ -148,3 +148,25 @@ def subset(count: int) -> Tuple[WorkloadProfile, ...]:
         return tuple(ordered)
     step = (len(ordered) - 1) / max(count - 1, 1)
     return tuple(ordered[round(i * step)] for i in range(count))
+
+
+#: Named benchmark tiers for sweeps.  A tier trades suite coverage for
+#: per-cell cost: ``smoke`` is the cheap CI trio, ``full`` the whole
+#: 29-benchmark paper suite, and ``mesh32`` a six-benchmark slice spread
+#: across the intensity spectrum for 32x32 scale-up sweeps, where one
+#: cell simulates ~16x the tiles of the paper's 8x8 runs.
+TIERS: Dict[str, Tuple[str, ...]] = {
+    "smoke": ("gaussian", "hotspot", "kmeans"),
+    "full": tuple(b.name for b in BENCHMARKS),
+    "mesh32": tuple(b.name for b in subset(6)),
+}
+
+
+def tier(name: str) -> List[str]:
+    """Look up a named benchmark tier (see :data:`TIERS`)."""
+    try:
+        return list(TIERS[name])
+    except KeyError:
+        raise ValueError(
+            f"unknown workload tier {name!r}; known: {sorted(TIERS)}"
+        ) from None

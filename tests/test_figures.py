@@ -99,7 +99,7 @@ class TestFigure9And10:
 class TestFigure11:
     def test_all_schemes_present(self):
         result = figure11(SMALL)
-        assert len(result.areas) == 7
+        assert len(result.areas) == 9
         assert all(a > 0 for a in result.areas.values())
         assert "vs SeparateBase" in result.render()
 

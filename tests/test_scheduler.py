@@ -25,7 +25,7 @@ from repro.harness.experiment import (
 )
 from repro.noc.faults import FaultSpec
 from repro.noc.network import resolve_scheduler
-from repro.schemes import SCHEME_ORDER
+from repro.schemes import SCHEME_ORDER, get_spec
 from repro.workloads import profiles
 from repro.workloads.synthetic import run_uniform
 
@@ -70,7 +70,13 @@ class TestResolveScheduler:
 # Full-system differential: every scheme, audits armed, faults firing
 # ----------------------------------------------------------------------
 class TestSchedulerDifferential:
-    @pytest.mark.parametrize("scheme", SCHEME_ORDER)
+    # Fault plans are a mesh-only capability; the loop baselines get an
+    # equivalent scheduler differential (without faults) in
+    # test_schemes.py::TestLoopSchemes.
+    @pytest.mark.parametrize(
+        "scheme",
+        [s for s in SCHEME_ORDER if get_spec(s).supports_faults],
+    )
     def test_scheme_bit_identical_with_firing_faults(self, scheme):
         # Fault the first CB's reply-injection buffer mid-run (firing),
         # and arm a never-firing mesh fault: both the fault machinery

@@ -5,11 +5,13 @@ import pytest
 from repro.harness.experiment import ExperimentConfig, build_fabric
 from repro.noc import PacketType
 from repro.noc.interface import EquiNoxInterface, MultiPortInterface
-from repro.schemes import SCHEME_ORDER, SchemeConfig, get_config
+from repro.schemes import SCHEME_ORDER, SchemeConfig, get_config, get_spec
+
+LOOP_SCHEMES = ["ring_router", "routerless"]
 
 
 class TestConfigs:
-    def test_all_seven_schemes_exist(self):
+    def test_all_nine_schemes_exist(self):
         assert SCHEME_ORDER == [
             "SingleBase",
             "VC-Mono",
@@ -18,10 +20,13 @@ class TestConfigs:
             "DA2Mesh",
             "MultiPort",
             "EquiNox",
+            "ring_router",
+            "routerless",
         ]
 
     def test_network_types_match_paper(self):
-        """Schemes 1-3 are single-network, 4-7 separate (section 5)."""
+        """Schemes 1-3 are single-network, 4-7 separate (section 5);
+        the loop baselines also run separate request/reply networks."""
         for name in SCHEME_ORDER[:3]:
             assert get_config(name).network_type == "single"
         for name in SCHEME_ORDER[3:]:
@@ -31,12 +36,23 @@ class TestConfigs:
         assert get_config("EquiNox").placement_name == "nqueen"
 
     def test_others_use_diamond(self):
-        for name in SCHEME_ORDER[:-1]:
-            assert get_config(name).placement_name == "diamond"
+        for name in SCHEME_ORDER:
+            if name != "EquiNox":
+                assert get_config(name).placement_name == "diamond"
 
     def test_unknown_scheme(self):
         with pytest.raises(ValueError):
             get_config("Mesh2000")
+
+    def test_capability_flags(self):
+        for name in SCHEME_ORDER:
+            spec = get_spec(name)
+            if name in LOOP_SCHEMES:
+                assert not spec.supports_faults
+                assert spec.engines == ("object",)
+            else:
+                assert spec.supports_faults
+                assert spec.engines == ("object", "vector")
 
     def test_invalid_combinations_rejected(self):
         with pytest.raises(ValueError):
@@ -45,6 +61,22 @@ class TestConfigs:
             SchemeConfig(name="x", network_type="single", da2mesh=True)
         with pytest.raises(ValueError):
             SchemeConfig(name="x", network_type="ring")
+        # Loop topologies: separate networks only, no overlays/NI
+        # variants, and at least two VCs for the dateline.
+        with pytest.raises(ValueError):
+            SchemeConfig(name="x", network_type="single", topology="ring")
+        with pytest.raises(ValueError):
+            SchemeConfig(
+                name="x", network_type="separate", topology="routerless",
+                multiport=4,
+            )
+        with pytest.raises(ValueError):
+            SchemeConfig(
+                name="x", network_type="separate", topology="ring",
+                num_vcs=1,
+            )
+        with pytest.raises(ValueError):
+            SchemeConfig(name="x", network_type="separate", topology="torus")
 
 
 class TestFabricStructure:
@@ -164,3 +196,191 @@ class TestFabricTraffic:
         for i in range(5):
             fabric.send_reply(cb, pe, PacketType.READ_REPLY, i)
         assert fabric.reply_backlog(cb) == 5
+
+
+class TestLoopSchemes:
+    """Geometry, injection path, delivery accounting and capability
+    rails for the loop-topology baselines (ring_router / routerless)."""
+
+    @pytest.fixture(autouse=True)
+    def _cfg(self):
+        self.cfg = ExperimentConfig(
+            width=6, num_cbs=5, quota=10, mcts_iterations=20
+        )
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_geometry(self, scheme):
+        from repro.noc.loops import verify_loop_cover
+
+        fabric = build_fabric(scheme, self.cfg)
+        assert fabric.config.topology in ("ring", "routerless")
+        assert len(fabric.networks) == 2
+        for net, _ratio, _role in fabric.networks:
+            assert net.loops
+            # Every loop hop is a wired point-to-point link.
+            for lane, ports in zip(net.loops, net.loop_ports):
+                length = len(lane)
+                for i, node in enumerate(lane):
+                    nxt = lane[(i + 1) % length]
+                    assert net.routers[node].neighbors[ports[i]][0] == nxt
+            # Every (src, dst) pair shares at least one loop.
+            verify_loop_cover(net.grid, net.loops)
+            # The mesh ports stay unwired on a loop topology.
+            for router in net.routers:
+                assert all(p not in router.neighbors for p in range(4))
+            # Injection is pinned to VC 0 (the dateline precondition).
+            assert net.vc_classes == [(0,)]
+
+    def test_ring_is_two_counter_rotating_rings(self):
+        fabric = build_fabric("ring_router", self.cfg)
+        net = fabric.request_net
+        assert len(net.loops) == 2
+        assert set(net.loops[0]) == set(range(net.grid.size))
+        assert net.loops[1] == tuple(reversed(net.loops[0]))
+
+    def test_routerless_loops_are_rectangle_perimeters(self):
+        fabric = build_fabric("routerless", self.cfg)
+        net = fabric.request_net
+        assert len(net.loops) > 2
+        grid = net.grid
+        for lane in net.loops:
+            xs = [grid.coord(n)[0] for n in lane]
+            ys = [grid.coord(n)[1] for n in lane]
+            w = max(xs) - min(xs) + 1
+            h = max(ys) - min(ys) + 1
+            # A rectangle perimeter visits each boundary node once.
+            assert len(lane) == len(set(lane)) == 2 * (w + h) - 4
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_injection_path_stamps_lane(self, scheme):
+        fabric = build_fabric(scheme, self.cfg)
+        pe, cb = fabric.pes[0], fabric.placement[0]
+        pkt = fabric.send_request(pe, cb, PacketType.READ_REQUEST, object())
+        assert pkt.vc_class == 0
+        for _ in range(5):
+            fabric.tick()
+        assert pkt.lane is not None
+        lane = fabric.request_net.loops[pkt.lane]
+        assert pe in lane and cb in lane
+        # Wire selection picked a minimal-forward-distance lane.
+        state = fabric.loop_states["request"]
+        dist = state.distance(pkt.lane, pe, cb)
+        assert dist == min(
+            state.distance(i, pe, cb) for i in state.candidates(pe, cb)
+        )
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_delivery_accounting(self, scheme):
+        from repro.noc.validation import assert_healthy
+
+        fabric = build_fabric(scheme, self.cfg)
+        tokens = {}
+        for i, pe in enumerate(fabric.pes[:6]):
+            cb = fabric.placement[i % len(fabric.placement)]
+            tokens[i] = (pe, cb)
+            fabric.send_request(pe, cb, PacketType.READ_REQUEST, i)
+        got = set()
+        for _ in range(2000):
+            fabric.tick()
+            for cb in fabric.placement:
+                token = fabric.pop_request(cb)
+                if token is not None:
+                    got.add(token)
+            if len(got) == len(tokens):
+                break
+        assert got == set(tokens)
+        assert fabric.idle()
+        for net, _ratio, _role in fabric.networks:
+            assert_healthy(net)
+            stats = net.stats
+            assert stats.packets_created == stats.packets_delivered
+            assert stats.flits_injected == stats.flits_ejected
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_fault_plans_rejected_at_arm_time(self, scheme):
+        from repro.harness.experiment import run_experiment
+        from repro.noc.faults import FaultSpec
+
+        spec = FaultSpec(kind="mesh_link", node=0, peer=1, at_cycle=10)
+        cfg = ExperimentConfig(
+            width=4, num_cbs=3, quota=4, faults=(spec,)
+        )
+        with pytest.raises(ValueError, match="fault"):
+            run_experiment(scheme, "kmeans", cfg)
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_verify_case_rejects_faults_and_vector_engine(self, scheme):
+        from repro.noc.faults import FaultSpec
+        from repro.verify.space import VerifyCase
+
+        base = dict(
+            scheme=scheme, benchmark="kmeans", width=4, num_cbs=3,
+            quota=4, seed=0,
+        )
+        VerifyCase(**base)  # valid: object engine, no faults
+        with pytest.raises(ValueError, match="fault"):
+            VerifyCase(
+                faults=(
+                    FaultSpec(
+                        kind="mesh_link", node=0, peer=1, at_cycle=9999
+                    ),
+                ),
+                **base,
+            )
+        with pytest.raises(ValueError, match="engine"):
+            VerifyCase(engine="vector", **base)
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_vector_engine_rejected_by_fabric(self, scheme):
+        cfg = ExperimentConfig(
+            width=4, num_cbs=3, quota=4, engine="vector"
+        )
+        with pytest.raises(ValueError, match="object engine"):
+            build_fabric(scheme, cfg)
+
+    @pytest.mark.parametrize("scheme", LOOP_SCHEMES)
+    def test_scheduler_differential(self, scheme):
+        import dataclasses
+
+        from repro.harness.experiment import run_experiment
+
+        cfg = ExperimentConfig(
+            width=5, num_cbs=4, quota=8, mcts_iterations=10
+        )
+        runs = [
+            run_experiment(
+                scheme, "hotspot",
+                dataclasses.replace(cfg, scheduler=scheduler),
+            )
+            for scheduler in ("active", "dense")
+        ]
+        assert runs[0].stats_fingerprint == runs[1].stats_fingerprint
+        assert runs[0].cycles == runs[1].cycles
+
+
+class TestLoopDeterminism:
+    """Object-engine determinism across serial / parallel / cache-warm
+    sweeps for the loop baselines (mirrors TestDeterminism in
+    test_runner.py, which covers the mesh schemes)."""
+
+    def test_serial_parallel_and_cache_tiers_bit_identical(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.harness import cache
+        from repro.harness.runner import sweep
+
+        cfg = ExperimentConfig(
+            width=5, num_cbs=4, quota=6, mcts_iterations=10
+        )
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.clear()
+        serial = sweep(LOOP_SCHEMES, ["hotspot"], cfg, jobs=1).results()
+        parallel = sweep(LOOP_SCHEMES, ["hotspot"], cfg, jobs=2).results()
+        cache.clear()  # memory dropped; disk tier stays warm
+        warmed = sweep(LOOP_SCHEMES, ["hotspot"], cfg, jobs=1).results()
+        assert set(serial) == set(parallel) == set(warmed)
+        for key in serial:
+            runs = (serial[key], parallel[key], warmed[key])
+            assert len({r.stats_fingerprint for r in runs}) == 1, key
+            assert len({r.cycles for r in runs}) == 1, key
+            assert runs[0].stats_fingerprint

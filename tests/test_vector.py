@@ -17,7 +17,7 @@ from repro.core.grid import Grid
 from repro.noc.faults import FaultSpec
 from repro.noc.network import Network, network_class, resolve_engine
 from repro.noc.vector import VectorNetwork
-from repro.schemes import SCHEME_ORDER
+from repro.schemes import SCHEME_ORDER, get_spec
 from repro.verify import (
     FAST,
     KNOWN_PROPERTIES,
@@ -86,7 +86,14 @@ class TestEngineSelection:
 
 
 class TestSchemeParity:
-    @pytest.mark.parametrize("scheme", SCHEME_ORDER)
+    # Loop topologies are object-only and reject fault plans, so the
+    # firing-faults parity property ranges over the fault-capable
+    # mesh schemes (the loop baselines get their own rails in
+    # test_schemes.py::TestLoopSchemes).
+    @pytest.mark.parametrize(
+        "scheme",
+        [s for s in SCHEME_ORDER if get_spec(s).supports_faults],
+    )
     def test_firing_faults_bit_identical(self, scheme):
         # The strongest form of the contract: a fault plan that
         # actually fires mid-run (not merely armed) must perturb both
